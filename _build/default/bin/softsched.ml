@@ -1,0 +1,398 @@
+(* softsched — command-line front door to the soft-scheduling library.
+
+   Subcommands:
+     schedule   schedule a benchmark or a .beh source file
+     table      reproduce the paper's Figure 3
+     dot        emit the dataflow graph (or its schedule) as Graphviz
+     verilog    run the full HLS flow and emit RTL
+     sim        schedule, bind and simulate with given input values *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* --- shared arguments ---------------------------------------------- *)
+
+let graph_of_spec spec =
+  match Hls_bench.Suite.find spec with
+  | entry -> entry.Hls_bench.Suite.build ()
+  | exception Not_found ->
+    if Sys.file_exists spec then begin
+      if Filename.check_suffix spec ".dfg" then Dfg.Serial.load spec
+      else Ir.Lower.of_source (read_file spec)
+    end
+    else
+      failwith
+        (Printf.sprintf
+           "unknown design %S (expected a benchmark name %s or a file)" spec
+           (String.concat "|"
+              (List.map
+                 (fun (e : Hls_bench.Suite.entry) -> e.name)
+                 Hls_bench.Suite.all)))
+
+let design_arg =
+  let doc =
+    "Design to process: a benchmark name (HAL, AR, EF, FIR, DCT, IIR) or a \
+     path to a behavioral source file."
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"DESIGN" ~doc)
+
+let parse_resources s =
+  (* e.g. "2alu,1mul" or "2alu,2mul,1mem" *)
+  let parse_one part =
+    let part = String.trim part in
+    let split =
+      let rec first_alpha i =
+        if i >= String.length part then i
+        else
+          match part.[i] with '0' .. '9' -> first_alpha (i + 1) | _ -> i
+      in
+      first_alpha 0
+    in
+    if split = 0 || split = String.length part then
+      failwith (Printf.sprintf "bad resource spec %S (want e.g. 2alu)" part);
+    let n = int_of_string (String.sub part 0 split) in
+    let cls =
+      match String.sub part split (String.length part - split) with
+      | "alu" -> Hard.Resources.Alu
+      | "mul" -> Hard.Resources.Multiplier
+      | "mem" -> Hard.Resources.Memory
+      | other -> failwith (Printf.sprintf "unknown unit class %S" other)
+    in
+    (cls, n)
+  in
+  Hard.Resources.make (List.map parse_one (String.split_on_char ',' s))
+
+let resources_arg =
+  let doc = "Resource configuration, e.g. 2alu,2mul,1mem." in
+  Arg.(
+    value
+    & opt string "2alu,2mul,1mem"
+    & info [ "r"; "resources" ] ~docv:"RES" ~doc)
+
+let meta_of_name ~resources = function
+  | "dfs" -> Soft.Meta.dfs
+  | "topo" -> Soft.Meta.topological
+  | "paths" -> Soft.Meta.by_paths
+  | "list" -> Soft.Meta.list_like ~resources
+  | other -> failwith (Printf.sprintf "unknown meta schedule %S" other)
+
+let meta_arg =
+  let doc = "Meta schedule: dfs, topo, paths or list." in
+  Arg.(value & opt string "topo" & info [ "m"; "meta" ] ~docv:"META" ~doc)
+
+let scheduler_arg =
+  let doc =
+    "Scheduler: threaded (the paper's), search (threaded + meta-schedule \
+     search), list, asap, or exact."
+  in
+  Arg.(value & opt string "threaded" & info [ "s"; "scheduler" ] ~doc)
+
+(* --- schedule ------------------------------------------------------ *)
+
+let run_schedule design resources_s meta_s scheduler =
+  let g = graph_of_spec design in
+  let resources = parse_resources resources_s in
+  let schedule =
+    match scheduler with
+    | "threaded" ->
+      let meta = meta_of_name ~resources meta_s in
+      let state = Soft.Scheduler.run ~meta ~resources g in
+      print_string (Soft.Render.threads state);
+      Soft.Threaded_graph.to_schedule state
+    | "search" ->
+      let state = Soft.Search.best_state ~resources g in
+      print_string (Soft.Render.threads state);
+      Soft.Threaded_graph.to_schedule state
+    | "list" -> Hard.List_sched.run ~resources g
+    | "asap" -> Hard.Asap.run g
+    | "exact" ->
+      let r = Hard.Exact_bb.run ~resources g in
+      Printf.printf "exact search: %d nodes, optimal=%b\n"
+        r.Hard.Exact_bb.nodes_explored r.Hard.Exact_bb.optimal;
+      r.Hard.Exact_bb.schedule
+    | other -> failwith (Printf.sprintf "unknown scheduler %S" other)
+  in
+  Format.printf "%a@." Hard.Schedule.pp schedule;
+  print_string (Hard.Schedule.gantt schedule);
+  (match Hard.Schedule.check ~resources schedule with
+  | Ok () -> Printf.printf "valid under %s\n" (Hard.Resources.to_string resources)
+  | Error m -> Printf.printf "INVALID: %s\n" m);
+  Printf.printf "control steps: %d\n" (Hard.Schedule.length schedule)
+
+let schedule_cmd =
+  let term =
+    Term.(const run_schedule $ design_arg $ resources_arg $ meta_arg
+          $ scheduler_arg)
+  in
+  Cmd.v (Cmd.info "schedule" ~doc:"Schedule a design and print the result")
+    term
+
+(* --- table --------------------------------------------------------- *)
+
+let run_table () =
+  Printf.printf "%-4s %-12s" "BM" "Sched. Alg.";
+  List.iter (fun (l, _) -> Printf.printf " %8s" l) Hard.Resources.fig3_all;
+  print_newline ();
+  List.iter
+    (fun (e : Hls_bench.Suite.entry) ->
+      List.iteri
+        (fun i name ->
+          Printf.printf "%-4s %-12s" e.name name;
+          List.iter
+            (fun (_, resources) ->
+              let g = e.build () in
+              let meta =
+                List.nth (Soft.Meta.fig3 ~resources) i |> snd
+              in
+              Printf.printf " %8d" (Soft.Scheduler.csteps ~meta ~resources g))
+            Hard.Resources.fig3_all;
+          print_newline ())
+        [ "meta sched1"; "meta sched2"; "meta sched3"; "meta sched4" ];
+      Printf.printf "%-4s %-12s" e.name "list sched";
+      List.iter
+        (fun (_, resources) ->
+          let g = e.build () in
+          Printf.printf " %8d"
+            (Hard.Schedule.length (Hard.List_sched.run ~resources g)))
+        Hard.Resources.fig3_all;
+      print_newline ())
+    Hls_bench.Suite.fig3
+
+let table_cmd =
+  Cmd.v
+    (Cmd.info "table" ~doc:"Reproduce Figure 3 of the paper")
+    Term.(const run_table $ const ())
+
+(* --- dot ----------------------------------------------------------- *)
+
+let run_dot design with_schedule resources_s =
+  let g = graph_of_spec design in
+  if with_schedule then begin
+    let resources = parse_resources resources_s in
+    let s = Soft.Scheduler.run_to_schedule ~resources g in
+    print_string (Dfg.Dot.of_schedule g ~starts:(Hard.Schedule.starts s))
+  end
+  else
+    print_string
+      (Dfg.Dot.of_graph ~highlight:(Dfg.Paths.critical_path g) g)
+
+let dot_cmd =
+  let with_schedule =
+    Arg.(value & flag & info [ "schedule" ] ~doc:"Rank vertices by control step.")
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Emit Graphviz (critical path highlighted)")
+    Term.(const run_dot $ design_arg $ with_schedule $ resources_arg)
+
+(* --- verilog ------------------------------------------------------- *)
+
+let run_verilog design resources_s meta_s =
+  let g = graph_of_spec design in
+  let resources = parse_resources resources_s in
+  let meta = meta_of_name ~resources meta_s in
+  let state = Soft.Scheduler.run ~meta ~resources g in
+  let binding = Rtl.Binding.of_state state in
+  print_string (Rtl.Verilog.emit ~module_name:"design" binding)
+
+let verilog_cmd =
+  Cmd.v
+    (Cmd.info "verilog" ~doc:"Full HLS flow: schedule, bind, emit RTL")
+    Term.(const run_verilog $ design_arg $ resources_arg $ meta_arg)
+
+(* --- sim ----------------------------------------------------------- *)
+
+let run_sim design resources_s inputs vcd_path testbench =
+  let g = graph_of_spec design in
+  let resources = parse_resources resources_s in
+  let env =
+    List.map
+      (fun kv ->
+        match String.split_on_char '=' kv with
+        | [ k; v ] -> (k, int_of_string v)
+        | _ -> failwith (Printf.sprintf "bad input binding %S (want name=int)" kv))
+      inputs
+  in
+  let state = Soft.Scheduler.run ~resources g in
+  let binding = Rtl.Binding.of_state state in
+  (match vcd_path with
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Rtl.Vcd.of_run binding ~env);
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+  | None -> ());
+  if testbench then
+    print_string (Rtl.Verilog.emit_testbench binding ~env)
+  else begin
+  let outputs, trace = Rtl.Sim.run ~trace:true binding ~env in
+  List.iter
+    (fun e ->
+      match e.Rtl.Sim.event, e.Rtl.Sim.value with
+      | `Writeback, Some value ->
+        Printf.printf "cycle %2d: %s = %d\n" e.Rtl.Sim.cycle
+          (Dfg.Graph.name g e.Rtl.Sim.vertex)
+          value
+      | _ -> ())
+    trace;
+  List.iter (fun (k, v) -> Printf.printf "output %s = %d\n" k v) outputs;
+    match Rtl.Sim.check_against_eval binding ~env with
+    | Ok () -> print_endline "simulation agrees with dataflow evaluation"
+    | Error m -> print_endline ("MISMATCH: " ^ m)
+  end
+
+let sim_cmd =
+  let inputs =
+    Arg.(value & opt_all string [] & info [ "i"; "input" ] ~docv:"NAME=VAL"
+           ~doc:"Input binding, repeatable.")
+  in
+  let vcd =
+    Arg.(value & opt (some string) None & info [ "vcd" ] ~docv:"FILE"
+           ~doc:"Dump the simulation as a VCD waveform.")
+  in
+  let testbench =
+    Arg.(value & flag & info [ "testbench" ]
+           ~doc:"Print a self-checking Verilog testbench instead of the trace.")
+  in
+  Cmd.v
+    (Cmd.info "sim" ~doc:"Schedule, bind and simulate cycle by cycle")
+    Term.(const run_sim $ design_arg $ resources_arg $ inputs $ vcd
+          $ testbench)
+
+(* --- map ----------------------------------------------------------- *)
+
+let run_map design resources_s =
+  let g = graph_of_spec design in
+  let resources = parse_resources resources_s in
+  let before = Soft.Scheduler.csteps ~resources g in
+  let result = Techmap.Mapper.schedule_driven ~resources g in
+  Printf.printf "fused cells: %d\n" (List.length result.Techmap.Mapper.accepted);
+  List.iter
+    (fun (m : Techmap.Cover.match_) ->
+      Printf.printf "  %s at %s (absorbs %s)\n" m.cell.Techmap.Cell.name
+        (Dfg.Graph.name g m.root)
+        (String.concat ", " (List.map (Dfg.Graph.name g) m.fused_away)))
+    result.Techmap.Mapper.accepted;
+  Printf.printf "control steps: %d -> %d\n" before
+    (Techmap.Mapper.csteps ~resources result);
+  print_string (Dfg.Serial.to_string result.Techmap.Mapper.mapped)
+
+let map_cmd =
+  Cmd.v
+    (Cmd.info "map"
+       ~doc:"Technology mapping with the threaded scheduler as kernel")
+    Term.(const run_map $ design_arg $ resources_arg)
+
+(* --- retime --------------------------------------------------------- *)
+
+let run_retime workload resources_s =
+  let resources = parse_resources resources_s in
+  let g =
+    match workload with
+    | "ring" -> Retime.Workloads.ring ~ops:8 ~registers:2
+    | "correlator" -> Retime.Workloads.correlator ~taps:6
+    | "pipeline" -> Retime.Workloads.pipeline ~stages:5 ~slack_registers:2
+    | other -> failwith (Printf.sprintf "unknown workload %S (ring|correlator|pipeline)" other)
+  in
+  let o = Retime.Retimer.constrained ~resources g in
+  Printf.printf
+    "combinational period: %d -> %d\nscheduled csteps:     %d -> %d\nlag: %s\n"
+    o.Retime.Retimer.period_before o.Retime.Retimer.period_after
+    o.Retime.Retimer.csteps_before o.Retime.Retimer.csteps_after
+    (String.concat " " (Array.to_list (Array.map string_of_int o.Retime.Retimer.lag)))
+
+let retime_cmd =
+  let workload =
+    Arg.(value & pos 0 string "ring" & info [] ~docv:"WORKLOAD"
+           ~doc:"Sequential workload: ring, correlator or pipeline.")
+  in
+  Cmd.v
+    (Cmd.info "retime"
+       ~doc:"Resource-constrained retiming with the scheduling kernel")
+    Term.(const run_retime $ workload $ resources_arg)
+
+(* --- vliw ----------------------------------------------------------- *)
+
+let run_vliw design resources_s =
+  let g = graph_of_spec design in
+  let resources = parse_resources resources_s in
+  let state = Soft.Scheduler.run ~resources g in
+  let binding = Rtl.Binding.of_state state in
+  let prog = Vliw.Emit.run binding in
+  (match Vliw.Isa.validate prog with
+  | Ok () -> ()
+  | Error m -> failwith ("internal: invalid program: " ^ m));
+  print_string (Vliw.Asm.print prog);
+  Printf.printf "; %d instructions over %d bundles, slot utilisation %.0f%%\n"
+    (Vliw.Isa.n_instructions prog)
+    (Array.length prog.Vliw.Isa.bundles)
+    (100.0 *. Vliw.Isa.slot_utilisation prog)
+
+let vliw_cmd =
+  Cmd.v
+    (Cmd.info "vliw" ~doc:"Emit VLIW assembly for a scheduled design")
+    Term.(const run_vliw $ design_arg $ resources_arg)
+
+(* --- selfcheck ------------------------------------------------------ *)
+
+let run_selfcheck design resources_s =
+  let g = graph_of_spec design in
+  let resources = parse_resources resources_s in
+  let failures = ref 0 in
+  let report label = function
+    | Ok () -> Printf.printf "  ok    %s\n" label
+    | Error m ->
+      incr failures;
+      Printf.printf "  FAIL  %s: %s\n" label m
+  in
+  Printf.printf "design: %d vertices, %d edges, diameter %d, dag %b\n"
+    (Dfg.Graph.n_vertices g) (Dfg.Graph.n_edges g) (Dfg.Paths.diameter g)
+    (Dfg.Graph.is_dag g);
+  List.iter
+    (fun (label, meta) ->
+      let state = Soft.Scheduler.run ~meta ~resources g in
+      report (label ^ " invariants") (Soft.Invariant.check_all state);
+      report
+        (label ^ " schedule")
+        (Hard.Schedule.check ~resources
+           (Soft.Threaded_graph.to_schedule state)))
+    (Soft.Meta.fig3 ~resources);
+  let state = Soft.Scheduler.run ~resources g in
+  let binding = Rtl.Binding.of_state state in
+  let alloc =
+    {
+      Refine.Regalloc.assignment = binding.Rtl.Binding.register_of_value;
+      n_registers = binding.Rtl.Binding.n_registers;
+      spilled = [];
+    }
+  in
+  report "register binding"
+    (Refine.Regalloc.verify alloc binding.Rtl.Binding.schedule);
+  let prog = Vliw.Emit.run binding in
+  report "vliw program" (Vliw.Isa.validate prog);
+  if !failures = 0 then print_endline "all checks passed"
+  else begin
+    Printf.printf "%d check(s) failed\n" !failures;
+    exit 1
+  end
+
+let selfcheck_cmd =
+  Cmd.v
+    (Cmd.info "selfcheck"
+       ~doc:"Run every validity checker on a design end to end")
+    Term.(const run_selfcheck $ design_arg $ resources_arg)
+
+(* --- main ---------------------------------------------------------- *)
+
+let () =
+  let doc = "soft (threaded) scheduling for high level synthesis" in
+  let info = Cmd.info "softsched" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ schedule_cmd; table_cmd; dot_cmd; verilog_cmd; sim_cmd;
+            map_cmd; retime_cmd; vliw_cmd; selfcheck_cmd ]))

@@ -1,0 +1,1 @@
+examples/design_space.ml: Dfg Hard Hls_bench List Printf Rtl Soft Techmap

@@ -1,0 +1,1 @@
+examples/hls_flow.ml: Dfg Format Hard Ir List Printf Rtl Soft

@@ -1,0 +1,1 @@
+examples/incremental_eco.ml: Dfg Hard Hashtbl Hls_bench List Printf Refine Rtl Soft

@@ -1,0 +1,1 @@
+examples/phase_coupling.ml: Dfg Format Hard Hls_bench List Printf Refine Soft String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dfg Format Hard List Printf Soft String

@@ -1,0 +1,1 @@
+examples/scheduler_as_kernel.ml: Hard Hls_bench List Printf Retime Soft Techmap

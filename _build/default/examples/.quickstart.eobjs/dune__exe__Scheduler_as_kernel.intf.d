@@ -1,0 +1,1 @@
+examples/scheduler_as_kernel.mli:

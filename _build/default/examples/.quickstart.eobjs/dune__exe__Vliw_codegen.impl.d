@@ -1,0 +1,1 @@
+examples/vliw_codegen.ml: Array Dfg Hard Hls_bench List Printf Refine Rtl Soft Vliw

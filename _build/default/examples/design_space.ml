@@ -1,0 +1,92 @@
+(* Design-space exploration: the everyday HLS loop this library is for.
+
+   For one behavior (the elliptic wave filter) sweep the architecture —
+   unit counts, pipelining, technology mapping — and print the
+   area/latency frontier. Every point is a full flow: threaded
+   scheduling, binding, register allocation; "area" is a toy cost of
+   units + registers + mux inputs.
+
+   Run with: dune exec examples/design_space.exe *)
+
+module Graph = Dfg.Graph
+module R = Hard.Resources
+
+type point = {
+  label : string;
+  csteps : int;
+  fus : int;
+  registers : int;
+  mux_inputs : int;
+}
+
+let area p = (p.fus * 12) + (p.registers * 4) + p.mux_inputs
+
+let explore_plain label resources g =
+  let state = Soft.Scheduler.run ~resources g in
+  let binding = Rtl.Binding.of_state state in
+  let netlist = Rtl.Netlist.of_binding binding in
+  {
+    label;
+    csteps = Hard.Schedule.length binding.Rtl.Binding.schedule;
+    fus = binding.Rtl.Binding.n_fus;
+    registers = binding.Rtl.Binding.n_registers;
+    mux_inputs = Rtl.Netlist.n_mux_inputs netlist;
+  }
+
+let () =
+  let build () = Hls_bench.Ewf.graph () in
+  Printf.printf "design-space exploration: elliptic wave filter (34 ops)\n\n";
+  Printf.printf "%-22s %7s %5s %5s %5s %7s\n" "architecture" "csteps" "FUs"
+    "regs" "mux" "~area";
+  let points = ref [] in
+  (* unit-count sweep *)
+  List.iter
+    (fun (alus, muls) ->
+      let resources = R.make [ (R.Alu, alus); (R.Multiplier, muls) ] in
+      let p =
+        explore_plain
+          (Printf.sprintf "%d ALU, %d MUL" alus muls)
+          resources (build ())
+      in
+      points := p :: !points)
+    [ (1, 1); (2, 1); (2, 2); (3, 2); (3, 3); (4, 4) ];
+  (* pipelined multipliers *)
+  List.iter
+    (fun (alus, muls) ->
+      let resources = R.make [ (R.Alu, alus); (R.Multiplier, muls) ] in
+      let split = Hard.Pipeline.split (build ()) in
+      let p =
+        explore_plain
+          (Printf.sprintf "%d ALU, %d pipe-MUL" alus muls)
+          resources split.Hard.Pipeline.split
+      in
+      points := p :: !points)
+    [ (2, 1); (2, 2) ];
+  (* technology-mapped variant *)
+  let resources = R.make [ (R.Alu, 2); (R.Multiplier, 2) ] in
+  let mapped = Techmap.Mapper.schedule_driven ~resources (build ()) in
+  points :=
+    explore_plain "2 ALU, 2 MUL + mac" resources mapped.Techmap.Mapper.mapped
+    :: !points;
+  let sorted =
+    List.sort (fun a b -> compare (a.csteps, area a) (b.csteps, area b))
+      (List.rev !points)
+  in
+  List.iter
+    (fun p ->
+      Printf.printf "%-22s %7d %5d %5d %5d %7d\n" p.label p.csteps p.fus
+        p.registers p.mux_inputs (area p))
+    sorted;
+  (* mark the Pareto frontier *)
+  Printf.printf "\nPareto frontier (latency vs ~area):\n";
+  let _ =
+    List.fold_left
+      (fun best p ->
+        if area p < best then begin
+          Printf.printf "  %-22s csteps=%d area=%d\n" p.label p.csteps (area p);
+          area p
+        end
+        else best)
+      max_int sorted
+  in
+  ()

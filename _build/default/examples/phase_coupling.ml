@@ -1,0 +1,89 @@
+(* The Figure 1 walk-through: why soft scheduling exists.
+
+   A hard scheduler fixes every operation to a time step; when register
+   allocation decides to spill a value, or the floorplanner reveals a
+   long wire, the fixed schedule is invalidated and the design process
+   iterates. The soft (threaded) scheduler keeps only a partial order,
+   so both refinements are absorbed by feeding the new operations to the
+   same online algorithm.
+
+   Run with: dune exec examples/phase_coupling.exe *)
+
+module Graph = Dfg.Graph
+module Op = Dfg.Op
+
+(* A seven-operation dataflow graph in the spirit of Figure 1(a):
+   two interleaved chains sharing the ALUs. Unit delays. *)
+let figure1_graph () =
+  let g = Graph.create () in
+  let op name = Graph.add_vertex g ~name ~delay:1 Op.Add in
+  let v1 = op "v1" and v2 = op "v2" and v3 = op "v3" and v4 = op "v4" in
+  let v5 = op "v5" and v6 = op "v6" and v7 = op "v7" in
+  List.iter
+    (fun (a, b) -> Graph.add_edge g a b)
+    [ (v1, v2); (v2, v5); (v3, v4); (v4, v6); (v5, v7); (v6, v7) ];
+  (g, v3)
+
+let resources =
+  Hard.Resources.make
+    [ (Hard.Resources.Alu, 2); (Hard.Resources.Memory, 1) ]
+
+let () =
+  let g, v3 = figure1_graph () in
+  Printf.printf "== Figure 1(a): the dataflow graph ==\n";
+  Format.printf "%a@.@." Graph.pp g;
+
+  (* Soft schedule (Figure 1(e)): two threads, one per ALU. *)
+  let state = Soft.Scheduler.run ~meta:Soft.Meta.dfs ~resources g in
+  Printf.printf "== soft schedule: threads ==\n";
+  for k = 0 to Soft.Threaded_graph.n_threads state - 1 do
+    Printf.printf "  thread %d: %s\n" k
+      (String.concat " -> "
+         (List.map (Graph.name g) (Soft.Threaded_graph.thread_members state k)))
+  done;
+  let before = Soft.Threaded_graph.diameter state in
+  Printf.printf "  %d states\n\n" before;
+
+  (* --- Scenario 1: register allocation decides to spill v3 --------- *)
+  Printf.printf "== scenario 1: the register allocator spills v3 ==\n";
+  let st, ld = Refine.Spill.apply state ~value:v3 in
+  Printf.printf "  inserted %s and %s into the live state\n"
+    (Graph.name g st) (Graph.name g ld);
+  let after_spill = Soft.Threaded_graph.diameter state in
+  Printf.printf "  states: %d -> %d (no re-scheduling pass)\n" before
+    after_spill;
+  (match Soft.Invariant.check_all state with
+  | Ok () -> Printf.printf "  all scheduling-state invariants still hold\n\n"
+  | Error m -> Printf.printf "  INVARIANT VIOLATION: %s\n\n" m);
+
+  (* --- Scenario 2: the floorplan reveals wire delays --------------- *)
+  Printf.printf "== scenario 2: post-floorplan wire delays (HAL, 5 units) ==\n";
+  let g2 = Hls_bench.Hal.graph () in
+  let state2 =
+    Soft.Scheduler.run ~meta:Soft.Meta.dfs
+      ~resources:Hard.Resources.fig3_2alu_2mul g2
+  in
+  let before2 = Soft.Threaded_graph.diameter state2 in
+  let floorplan = Refine.Floorplan.place state2 in
+  let report =
+    Refine.Wire_insert.apply state2 floorplan
+      { Refine.Floorplan.cells_per_cycle = 1 }
+  in
+  Printf.printf "  %d wire-delay vertices inserted (%d extra cycles of wire)\n"
+    (List.length report.Refine.Wire_insert.inserted)
+    report.Refine.Wire_insert.total_wire_cycles;
+  Printf.printf "  states: %d -> %d\n" before2
+    (Soft.Threaded_graph.diameter state2);
+
+  (* --- What the alternatives cost ---------------------------------- *)
+  Printf.printf "\n== the alternatives, on the EWF benchmark ==\n";
+  let cmp =
+    Refine.Wire_insert.compare_strategies ~resources:Hard.Resources.fig3_2alu_2mul
+      ~meta:Soft.Meta.topological (Hls_bench.Ewf.graph ())
+  in
+  Printf.printf
+    "  ignore wires (invalid in DSM): %d steps\n\
+    \  soft refinement:               %d steps\n\
+    \  pessimistic estimate:          %d steps\n"
+    cmp.Refine.Wire_insert.original_csteps cmp.Refine.Wire_insert.soft_csteps
+    cmp.Refine.Wire_insert.pessimistic_csteps

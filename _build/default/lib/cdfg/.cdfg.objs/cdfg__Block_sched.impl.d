@@ -1,0 +1,1 @@
+lib/cdfg/block_sched.ml: Array Ast Cfg Graph Hashtbl Import List Lower Op Schedule Scheduler Ssa

@@ -1,0 +1,1 @@
+lib/cdfg/block_sched.mli: Ast Cfg Import Resources

@@ -1,0 +1,1 @@
+lib/cdfg/cfg.ml: Array Ast Dfg Format Hashtbl Import List Printf Queue

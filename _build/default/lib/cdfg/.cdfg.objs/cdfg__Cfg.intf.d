@@ -1,0 +1,1 @@
+lib/cdfg/cfg.mli: Ast Format Import

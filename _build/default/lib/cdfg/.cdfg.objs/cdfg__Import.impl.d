@@ -1,0 +1,1 @@
+lib/cdfg/import.ml: Dfg Hard Ir Soft

@@ -1,0 +1,248 @@
+open Import
+
+type terminator =
+  | Jump of int
+  | Branch of string * int * int
+  | Exit
+
+type block = {
+  id : int;
+  body : (string * Ast.expr) list;
+  terminator : terminator;
+}
+
+type t = {
+  blocks : block array;
+  inputs : string list;
+  outputs : string list;
+}
+
+(* Builder: blocks are created innermost-first, so every terminator
+   target already exists when a block is allocated. *)
+type builder = {
+  mutable blocks_rev : block list;
+  mutable next_id : int;
+  mutable temp : int;
+}
+
+let new_block builder body terminator =
+  let id = builder.next_id in
+  builder.next_id <- id + 1;
+  let b = { id; body; terminator } in
+  builder.blocks_rev <- b :: builder.blocks_rev;
+  b
+
+let fresh_temp builder =
+  builder.temp <- builder.temp + 1;
+  Printf.sprintf "br$%d" builder.temp
+
+let of_ast (ast : Ast.program) =
+  (match Ast.validate ast with
+  | Ok () -> ()
+  | Error m -> invalid_arg ("Cfg.of_ast: " ^ m));
+  let builder = { blocks_rev = []; next_id = 0; temp = 0 } in
+  (* Translate a statement list; returns the id of the block that
+     execution ENTERS, given the id execution continues to AFTER the
+     list. Builds right to left. *)
+  let rec translate stmts continue_to =
+    match stmts with
+    | [] -> continue_to
+    | _ ->
+      (* split the leading run of simple assignments *)
+      let rec split acc = function
+        | Ast.Assign (x, e) :: rest -> split ((x, e) :: acc) rest
+        | rest -> (List.rev acc, rest)
+      in
+      let straight, rest = split [] stmts in
+      (match rest with
+      | [] ->
+        let b = new_block builder straight (Jump continue_to) in
+        b.id
+      | Ast.If (cond, then_block, else_block) :: tail ->
+        let after = translate tail continue_to in
+        let then_entry = translate then_block after in
+        let else_entry = translate else_block after in
+        let temp = fresh_temp builder in
+        let b =
+          new_block builder
+            (straight @ [ (temp, cond) ])
+            (Branch (temp, then_entry, else_entry))
+        in
+        b.id
+      | Ast.Repeat (n, body) :: tail ->
+        let after = translate tail continue_to in
+        let rec unroll i next =
+          if i = 0 then next else unroll (i - 1) (translate body next)
+        in
+        let loop_entry = unroll n after in
+        if straight = [] then loop_entry
+        else begin
+          let b = new_block builder straight (Jump loop_entry) in
+          b.id
+        end
+      | Ast.Assign _ :: _ -> assert false)
+  in
+  (* exit block *)
+  let exit_block = new_block builder [] Exit in
+  let entry = translate ast.Ast.body exit_block.id in
+  (* ensure block ids form a dense array with entry remapped to 0 *)
+  let blocks = List.rev builder.blocks_rev in
+  let n = List.length blocks in
+  let remap = Array.make n (-1) in
+  (* BFS from the entry to give reachable blocks dense, entry-first ids *)
+  let order = ref [] in
+  let visited = Array.make n false in
+  let queue = Queue.create () in
+  Queue.add entry queue;
+  visited.(entry) <- true;
+  while not (Queue.is_empty queue) do
+    let id = Queue.pop queue in
+    order := id :: !order;
+    let b = List.find (fun b -> b.id = id) blocks in
+    let targets =
+      match b.terminator with
+      | Jump t -> [ t ]
+      | Branch (_, a, c) -> [ a; c ]
+      | Exit -> []
+    in
+    List.iter
+      (fun t ->
+        if not visited.(t) then begin
+          visited.(t) <- true;
+          Queue.add t queue
+        end)
+      targets
+  done;
+  let order = List.rev !order in
+  List.iteri (fun dense old -> remap.(old) <- dense) order;
+  let remap_terminator = function
+    | Jump t -> Jump remap.(t)
+    | Branch (v, a, b) -> Branch (v, remap.(a), remap.(b))
+    | Exit -> Exit
+  in
+  let final =
+    Array.of_list
+      (List.map
+         (fun old ->
+           let b = List.find (fun b -> b.id = old) blocks in
+           {
+             id = remap.(old);
+             body = b.body;
+             terminator = remap_terminator b.terminator;
+           })
+         order)
+  in
+  { blocks = final; inputs = ast.Ast.inputs; outputs = ast.Ast.outputs }
+
+let n_blocks t = Array.length t.blocks
+
+let successors b =
+  match b.terminator with
+  | Jump t -> [ t ]
+  | Branch (_, a, c) -> if a = c then [ a ] else [ a; c ]
+  | Exit -> []
+
+let rec expr_vars = function
+  | Ast.Int _ -> []
+  | Ast.Var x -> [ x ]
+  | Ast.Neg e -> expr_vars e
+  | Ast.Binop (_, a, b) -> expr_vars a @ expr_vars b
+
+(* Backward liveness over the acyclic CFG: process blocks in reverse
+   of a topological order of the block DAG. *)
+let live_sets t =
+  let n = n_blocks t in
+  let live_in = Array.make n [] in
+  let live_out = Array.make n [] in
+  let add set xs =
+    List.fold_left (fun s x -> if List.mem x s then s else x :: s) set xs
+  in
+  (* topological order of blocks (entry first) *)
+  let indeg = Array.make n 0 in
+  Array.iter
+    (fun b -> List.iter (fun s -> indeg.(s) <- indeg.(s) + 1) (successors b))
+    t.blocks;
+  let queue = Queue.create () in
+  Array.iteri (fun i d -> if d = 0 then Queue.add i queue) indeg;
+  let order = ref [] in
+  while not (Queue.is_empty queue) do
+    let i = Queue.pop queue in
+    order := i :: !order;
+    List.iter
+      (fun s ->
+        indeg.(s) <- indeg.(s) - 1;
+        if indeg.(s) = 0 then Queue.add s queue)
+      (successors t.blocks.(i))
+  done;
+  (* !order is reverse topological: sinks first *)
+  List.iter
+    (fun i ->
+      let b = t.blocks.(i) in
+      let out =
+        match b.terminator with
+        | Exit -> t.outputs
+        | _ ->
+          List.fold_left
+            (fun acc s -> add acc live_in.(s))
+            [] (successors b)
+      in
+      let out =
+        match b.terminator with
+        | Branch (v, _, _) -> add out [ v ]
+        | _ -> out
+      in
+      live_out.(i) <- out;
+      (* backward through the body *)
+      let live =
+        List.fold_left
+          (fun live (x, e) ->
+            let live = List.filter (fun y -> y <> x) live in
+            add live (expr_vars e))
+          out (List.rev b.body)
+      in
+      live_in.(i) <- live)
+    !order;
+  Array.init n (fun i -> (List.sort compare live_in.(i),
+                          List.sort compare live_out.(i)))
+
+let interp t env =
+  let values = Hashtbl.create 32 in
+  List.iter (fun (x, v) -> Hashtbl.replace values x v) env;
+  let rec eval = function
+    | Ast.Int n -> n
+    | Ast.Var x ->
+      (match Hashtbl.find_opt values x with
+      | Some v -> v
+      | None -> raise Not_found)
+    | Ast.Neg e -> -eval e
+    | Ast.Binop (op, a, b) ->
+      Dfg.Op.eval (Ast.op_of_binop op) [ eval a; eval b ]
+  in
+  let rec run id guard =
+    if guard = 0 then failwith "Cfg.interp: too many transfers (cycle?)";
+    let b = t.blocks.(id) in
+    List.iter (fun (x, e) -> Hashtbl.replace values x (eval e)) b.body;
+    match b.terminator with
+    | Jump next -> run next (guard - 1)
+    | Branch (v, a, c) ->
+      run (if Hashtbl.find values v <> 0 then a else c) (guard - 1)
+    | Exit ->
+      List.map (fun o -> (o, Hashtbl.find values o)) t.outputs
+  in
+  run 0 (n_blocks t * 4)
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>cfg: %d blocks" (n_blocks t);
+  Array.iter
+    (fun b ->
+      Format.fprintf fmt "@,  B%d:" b.id;
+      List.iter
+        (fun (x, e) -> Format.fprintf fmt "@,    %s = %a" x Ast.pp_expr e)
+        b.body;
+      (match b.terminator with
+      | Jump x -> Format.fprintf fmt "@,    jump B%d" x
+      | Branch (v, a, c) ->
+        Format.fprintf fmt "@,    branch %s ? B%d : B%d" v a c
+      | Exit -> Format.fprintf fmt "@,    exit"))
+    t.blocks;
+  Format.fprintf fmt "@]"

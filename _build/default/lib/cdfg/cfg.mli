@@ -1,0 +1,50 @@
+open Import
+
+(** Control/data-flow graphs: basic blocks of straight-line assignments
+    joined by jumps and branches.
+
+    The paper's schedulers "operate within the boundary of the basic
+    block, or … the super block"; the front end's default is full
+    if-conversion (one super block). This module is the other road:
+    keep the control flow, schedule each block separately, and pay a
+    control step per transfer — the classic trade-off the multi-block
+    ablation measures. Bounded [repeat] loops are unrolled, so the CFG
+    is always acyclic. *)
+
+type terminator =
+  | Jump of int  (** unconditional transfer to a block id *)
+  | Branch of string * int * int
+      (** variable tested non-zero, then-target, else-target *)
+  | Exit  (** program ends; outputs are read from the variable state *)
+
+type block = {
+  id : int;
+  body : (string * Ast.expr) list;  (** assignments, in order *)
+  terminator : terminator;
+}
+
+type t = {
+  blocks : block array;  (** indexed by block id; entry is block 0 *)
+  inputs : string list;
+  outputs : string list;
+}
+
+val of_ast : Ast.program -> t
+(** Structured translation: [if] becomes a diamond, [repeat] is
+    unrolled. @raise Invalid_argument if the program does not
+    {!Ast.validate}. *)
+
+val n_blocks : t -> int
+
+val successors : block -> int list
+
+val live_sets : t -> (string list * string list) array
+(** Per block: (live-in, live-out) variable sets from backward liveness
+    over the acyclic CFG. The entry block's live-in is contained in the
+    program inputs (guaranteed by validation). *)
+
+val interp : t -> (string * int) list -> (string * int) list
+(** Execute the CFG; the oracle the scheduler-level tests compare
+    against {!Interp.run} on the original AST. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/core/import.ml: Dfg Hard

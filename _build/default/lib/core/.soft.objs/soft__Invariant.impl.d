@@ -1,0 +1,1 @@
+lib/core/invariant.ml: Graph Hashtbl Import List Printf Reach Resources Threaded_graph

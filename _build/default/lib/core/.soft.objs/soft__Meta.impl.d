@@ -1,0 +1,1 @@
+lib/core/meta.ml: Array Graph Import List List_sched Random Topo

@@ -1,0 +1,1 @@
+lib/core/naive.ml: List Meta Threaded_graph

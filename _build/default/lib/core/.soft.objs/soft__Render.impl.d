@@ -1,0 +1,1 @@
+lib/core/render.ml: Buffer Bytes Graph Import List Printf Resources Schedule String Threaded_graph

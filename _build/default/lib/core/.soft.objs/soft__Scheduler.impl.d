@@ -1,0 +1,1 @@
+lib/core/scheduler.ml: Import Meta Schedule Threaded_graph

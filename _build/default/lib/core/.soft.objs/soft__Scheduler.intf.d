@@ -1,0 +1,1 @@
+lib/core/scheduler.mli: Graph Import Meta Resources Schedule Threaded_graph

@@ -1,0 +1,1 @@
+lib/core/search.ml: Array Graph Import List Meta Random Threaded_graph

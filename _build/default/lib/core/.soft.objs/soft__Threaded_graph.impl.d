@@ -1,0 +1,1 @@
+lib/core/threaded_graph.ml: Array Dfg Fun Graph Hashtbl Import List Op Printf Queue Reach Resources Schedule

@@ -1,0 +1,1 @@
+lib/core/threaded_graph.mli: Graph Import Resources Schedule

@@ -1,0 +1,139 @@
+open Import
+
+let scheduled_list state =
+  List.filter
+    (fun v -> Threaded_graph.is_scheduled state v)
+    (Graph.vertices (Threaded_graph.graph state))
+
+let check_correctness state =
+  let g = Threaded_graph.graph state in
+  let reach_g = Reach.of_graph g in
+  let state_g = Threaded_graph.state_graph state in
+  let reach_s = Reach.of_graph state_g in
+  let scheduled = scheduled_list state in
+  let bad = ref None in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun q ->
+          if
+            !bad = None && p <> q
+            && Reach.precedes reach_g p q
+            && not (Reach.precedes reach_s p q)
+          then
+            bad :=
+              Some
+                (Printf.sprintf "correctness: %s ≺_G %s but not ≺_S"
+                   (Graph.name g p) (Graph.name g q)))
+        scheduled)
+    scheduled;
+  match !bad with None -> Ok () | Some m -> Error m
+
+let check_threaded state =
+  let g = Threaded_graph.graph state in
+  let seen = Hashtbl.create 64 in
+  let bad = ref None in
+  let record m = if !bad = None then bad := Some m in
+  for k = 0 to Threaded_graph.n_threads state - 1 do
+    let members = Threaded_graph.thread_members state k in
+    List.iter
+      (fun v ->
+        if Hashtbl.mem seen v then
+          record
+            (Printf.sprintf "threaded: %s in more than one thread"
+               (Graph.name g v));
+        Hashtbl.replace seen v ();
+        (match Threaded_graph.thread_of state v with
+        | Some k' when k' = k -> ()
+        | _ ->
+          record
+            (Printf.sprintf "threaded: membership of %s inconsistent"
+               (Graph.name g v)));
+        if not (Threaded_graph.is_scheduled state v) then
+          record
+            (Printf.sprintf "threaded: %s in a thread but not scheduled"
+               (Graph.name g v)))
+      members;
+    (* Total order within the thread: consecutive members must be
+       strictly ordered in the state. *)
+    let rec pairs = function
+      | a :: (b :: _ as rest) ->
+        if not (Threaded_graph.precedes state a b) then
+          record
+            (Printf.sprintf "threaded: %s does not precede its thread successor %s"
+               (Graph.name g a) (Graph.name g b));
+        pairs rest
+      | [] | [ _ ] -> ()
+    in
+    pairs members
+  done;
+  (* Every scheduled resource op is in some thread. *)
+  List.iter
+    (fun v ->
+      let needs_thread =
+        Graph.delay g v > 0 && Resources.class_of_op (Graph.op g v) <> None
+      in
+      if needs_thread && Threaded_graph.thread_of state v = None then
+        record
+          (Printf.sprintf "threaded: scheduled op %s has no thread"
+             (Graph.name g v)))
+    (scheduled_list state);
+  match !bad with None -> Ok () | Some m -> Error m
+
+let check_acyclic state =
+  if Graph.is_dag (Threaded_graph.state_graph state) then Ok ()
+  else Error "acyclic: scheduling state contains a cycle"
+
+let check_degree_bound state =
+  let g = Threaded_graph.graph state in
+  let state_g = Threaded_graph.state_graph state in
+  let k = Threaded_graph.n_threads state in
+  let in_thread v = Threaded_graph.thread_of state v <> None in
+  let bad = ref None in
+  List.iter
+    (fun v ->
+      let pred_threads =
+        List.length (List.filter in_thread (Graph.preds state_g v))
+      in
+      let succ_threads =
+        List.length (List.filter in_thread (Graph.succs state_g v))
+      in
+      if pred_threads > k || succ_threads > k then
+        if !bad = None then
+          bad :=
+            Some
+              (Printf.sprintf
+                 "degree: %s has %d thread preds / %d thread succs, K = %d"
+                 (Graph.name g v) pred_threads succ_threads k))
+    (scheduled_list state);
+  match !bad with None -> Ok () | Some m -> Error m
+
+let check_refines ~reference state =
+  let reach_ref = Reach.of_graph reference in
+  let state_g = Threaded_graph.state_graph state in
+  let reach_s = Reach.of_graph state_g in
+  let bad = ref None in
+  let n = Graph.n_vertices reference in
+  for p = 0 to n - 1 do
+    for q = 0 to n - 1 do
+      if
+        !bad = None && p <> q
+        && Threaded_graph.is_scheduled state p
+        && Threaded_graph.is_scheduled state q
+        && Reach.precedes reach_ref p q
+        && not (Reach.precedes reach_s p q)
+      then
+        bad :=
+          Some
+            (Printf.sprintf "refinement lost: %s ≺ %s of the reference order"
+               (Graph.name reference p) (Graph.name reference q))
+    done
+  done;
+  match !bad with None -> Ok () | Some m -> Error m
+
+let check_all state =
+  let ( >>= ) r f = match r with Ok () -> f () | Error _ as e -> e in
+  check_acyclic state
+  >>= fun () ->
+  check_correctness state
+  >>= fun () -> check_threaded state >>= fun () -> check_degree_bound state

@@ -1,0 +1,32 @@
+open Import
+
+(** Executable statements of the paper's definitions and lemmas, used by
+    the unit and property tests (the companion tech report with the
+    proofs is not available; these checks are its replacement). *)
+
+val check_correctness : Threaded_graph.t -> (unit, string) result
+(** Definition 3.2: for every pair of {e scheduled} vertices,
+    [p ≺_G q → p ≺_S q]. *)
+
+val check_threaded : Threaded_graph.t -> (unit, string) result
+(** Definition 4: thread membership partitions the scheduled
+    non-free vertices; within a thread the order is total and acyclic;
+    every thread-consecutive pair is ordered in the state. *)
+
+val check_acyclic : Threaded_graph.t -> (unit, string) result
+(** The scheduling state is a DAG (a cycle would make it not a
+    precedence graph at all). *)
+
+val check_degree_bound : Threaded_graph.t -> (unit, string) result
+(** Lemma 7: every scheduled vertex has at most [K] explicit state
+    predecessors in threads (one per thread) and at most [K] explicit
+    state successors in threads — free neighbours excepted, as free
+    vertices fall outside the K-thread model. *)
+
+val check_refines : reference:Graph.t -> Threaded_graph.t -> (unit, string) result
+(** The state's order restricted to [reference]'s vertices refines
+    [reference]'s partial order — used after graph mutation to show
+    old decisions survive refinement. *)
+
+val check_all : Threaded_graph.t -> (unit, string) result
+(** All of the above. *)

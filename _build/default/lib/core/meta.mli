@@ -1,0 +1,35 @@
+open Import
+
+(** Meta schedules (Definition 2): the order in which operations are fed
+    to the online scheduler. Section 5 evaluates four of them. *)
+
+type t = Graph.t -> Graph.vertex list
+(** A meta schedule produces a permutation of the graph's vertices. *)
+
+val dfs : t
+(** Meta schedule 1 — depth-first (pre)order. Deliberately
+    non-topological in general: children can arrive before unrelated
+    ancestors, exercising the online scheduler's order-independence. *)
+
+val topological : t
+(** Meta schedule 2 — a topological order. *)
+
+val by_paths : t
+(** Meta schedule 3 — partition the operations into paths, feed the
+    paths longest-first (each path internally in precedence order). *)
+
+val list_like : resources:Resources.t -> t
+(** Meta schedule 4 — the dispatch order of the traditional list
+    scheduler under the same resource constraints. *)
+
+val random : seed:int -> t
+(** Uniform shuffle — the adversarial order used by the meta-schedule
+    ablation and the property tests. *)
+
+val fig3 : resources:Resources.t -> (string * t) list
+(** The four paper rows: [("meta sched1", dfs); … ("meta sched4", …)]. *)
+
+val path_partition : Graph.t -> Graph.vertex list list
+(** The decomposition behind {!by_paths}: delay-weighted longest
+    remaining path, peeled greedily until no vertex is left. Exposed for
+    tests (the pieces are disjoint chains covering the graph). *)

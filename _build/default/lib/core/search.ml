@@ -1,0 +1,99 @@
+open Import
+
+type outcome = {
+  best_csteps : int;
+  best_order : Graph.vertex list;
+  evaluated : int;
+  history : int list;
+}
+
+let candidate_orders ~restarts ~seed ~resources g =
+  let standard =
+    List.map (fun (_, meta) -> meta g) (Meta.fig3 ~resources)
+  in
+  let random =
+    List.init restarts (fun i -> Meta.random ~seed:(seed + i) g)
+  in
+  standard @ random
+
+let run ?tie ?(restarts = 16) ?(seed = 0) ~resources g =
+  let orders = candidate_orders ~restarts ~seed ~resources g in
+  let evaluate order =
+    let state = Threaded_graph.create g ~resources in
+    Threaded_graph.schedule_all ?tie state order;
+    Threaded_graph.diameter state
+  in
+  let best = ref None in
+  let history = ref [] in
+  List.iter
+    (fun order ->
+      let csteps = evaluate order in
+      (match !best with
+      | Some (best_csteps, _) when best_csteps <= csteps -> ()
+      | _ -> best := Some (csteps, order));
+      let current_best = match !best with Some (c, _) -> c | None -> csteps in
+      history := current_best :: !history)
+    orders;
+  match !best with
+  | None -> invalid_arg "Search.run: empty graph produced no candidates"
+  | Some (best_csteps, best_order) ->
+    {
+      best_csteps;
+      best_order;
+      evaluated = List.length orders;
+      history = List.rev !history;
+    }
+
+let best_state ?tie ?restarts ?seed ~resources g =
+  let { best_order; _ } = run ?tie ?restarts ?seed ~resources g in
+  let state = Threaded_graph.create g ~resources in
+  Threaded_graph.schedule_all ?tie state best_order;
+  state
+
+(* Move the element at [from] to sit at position [to_] (positions in
+   the list with the element removed). *)
+let relocate order ~from ~to_ =
+  let array = Array.of_list order in
+  let moved = array.(from) in
+  let rest =
+    Array.to_list array |> List.filteri (fun i _ -> i <> from)
+  in
+  let rec insert i = function
+    | rest when i = 0 -> moved :: rest
+    | [] -> [ moved ]
+    | x :: tl -> x :: insert (i - 1) tl
+  in
+  insert to_ rest
+
+let hill_climb ?tie ?(steps = 200) ?(seed = 0) ~resources g =
+  let start = run ?tie ~seed ~resources g in
+  let n = Graph.n_vertices g in
+  if n < 2 then start
+  else begin
+    let rng = Random.State.make [| seed + 101 |] in
+    let evaluate order =
+      let state = Threaded_graph.create g ~resources in
+      Threaded_graph.schedule_all ?tie state order;
+      Threaded_graph.diameter state
+    in
+    let best_order = ref start.best_order in
+    let best_csteps = ref start.best_csteps in
+    let history = ref (List.rev start.history) in
+    for _ = 1 to steps do
+      let from = Random.State.int rng n in
+      let to_ = Random.State.int rng n in
+      let candidate = relocate !best_order ~from ~to_ in
+      let csteps = evaluate candidate in
+      if csteps <= !best_csteps then begin
+        best_csteps := csteps;
+        best_order := candidate
+      end;
+      history := !best_csteps :: !history
+    done;
+    {
+      best_csteps = !best_csteps;
+      best_order = !best_order;
+      evaluated = start.evaluated + steps;
+      history = List.rev !history;
+    }
+  end

@@ -1,0 +1,662 @@
+open Import
+
+(* One record per graph vertex. [thread = -1] means the vertex is either
+   unscheduled or scheduled free (zero-resource); [scheduled]
+   disambiguates. [pos] orders vertices within their thread and is
+   renumbered after each splice (O(thread length), keeping a schedule
+   call linear). [preds]/[succs] hold only the explicit (cross-thread or
+   free) edges; consecutive thread members are implicitly ordered via
+   [prev]/[next]. *)
+type node = {
+  mutable scheduled : bool;
+  mutable thread : int;
+  mutable prev : int;
+  mutable next : int;
+  mutable pos : int;
+  mutable preds : int list;
+  mutable succs : int list;
+  mutable sdist : int;
+  mutable tdist : int;
+}
+
+let fresh_node () =
+  {
+    scheduled = false;
+    thread = -1;
+    prev = -1;
+    next = -1;
+    pos = -1;
+    preds = [];
+    succs = [];
+    sdist = 0;
+    tdist = 0;
+  }
+
+module Vec = Dfg.Vec
+
+type t = {
+  graph : Graph.t;
+  classes : Resources.fu_class array; (* thread -> its unit class *)
+  head : int array; (* thread -> first vertex or -1 *)
+  tail : int array;
+  nodes : node Vec.t;
+  mutable n_scheduled : int;
+  mutable reach : Reach.t;
+  mutable reach_signature : int * int; (* (n_vertices, n_edges) at build *)
+}
+
+type position = { thread : int; after : Graph.vertex option }
+
+let create graph ~resources =
+  let classes =
+    Array.concat
+      (List.map
+         (fun (cls, n) -> Array.make n cls)
+         (Resources.classes resources))
+  in
+  let k = Array.length classes in
+  {
+    graph;
+    classes;
+    head = Array.make (max k 1) (-1);
+    tail = Array.make (max k 1) (-1);
+    nodes = Vec.create ~dummy:(fresh_node ()) ();
+    n_scheduled = 0;
+    reach = Reach.of_graph graph;
+    reach_signature = (Graph.n_vertices graph, Graph.n_edges graph);
+  }
+
+let graph t = t.graph
+let n_threads t = Array.length t.classes
+
+let thread_class t k =
+  if k < 0 || k >= n_threads t then
+    invalid_arg (Printf.sprintf "Threaded_graph.thread_class: no thread %d" k);
+  t.classes.(k)
+
+(* Grow the node store to match the (possibly mutated) graph, and
+   refresh the reachability index if the graph changed. *)
+let sync t =
+  while Vec.length t.nodes < Graph.n_vertices t.graph do
+    ignore (Vec.push t.nodes (fresh_node ()))
+  done;
+  let signature = (Graph.n_vertices t.graph, Graph.n_edges t.graph) in
+  if signature <> t.reach_signature then begin
+    t.reach <- Reach.of_graph t.graph;
+    t.reach_signature <- signature
+  end
+
+let node t v =
+  if v < 0 || v >= Graph.n_vertices t.graph then
+    invalid_arg (Printf.sprintf "Threaded_graph: unknown vertex %d" v);
+  sync t;
+  Vec.get t.nodes v
+
+let is_scheduled t v = (node t v).scheduled
+let n_scheduled t = t.n_scheduled
+
+let thread_of t v =
+  let n = node t v in
+  if n.scheduled && n.thread >= 0 then Some n.thread else None
+
+let thread_members t k =
+  if k < 0 || k >= n_threads t then
+    invalid_arg (Printf.sprintf "Threaded_graph.thread_members: no thread %d" k);
+  sync t;
+  let rec walk v acc =
+    if v < 0 then List.rev acc
+    else walk (Vec.get t.nodes v).next (v :: acc)
+  in
+  walk t.head.(k) []
+
+(* State successors/predecessors of a scheduled vertex: the implicit
+   thread neighbour plus the explicit cross edges. *)
+let state_succs t v =
+  let n = Vec.get t.nodes v in
+  if n.next >= 0 then n.next :: n.succs else n.succs
+
+let state_preds t v =
+  let n = Vec.get t.nodes v in
+  if n.prev >= 0 then n.prev :: n.preds else n.preds
+
+let scheduled_vertices t =
+  let acc = ref [] in
+  for v = Vec.length t.nodes - 1 downto 0 do
+    if (Vec.get t.nodes v).scheduled then acc := v :: !acc
+  done;
+  !acc
+
+(* Forward/backward labelling (the paper's forwardLabel/backwardLabel):
+   longest-path distances over the state's partial order, linear in the
+   number of state edges thanks to the degree bound. *)
+let label t =
+  sync t;
+  let vertices = scheduled_vertices t in
+  let indeg = Hashtbl.create 64 in
+  List.iter
+    (fun v -> Hashtbl.replace indeg v (List.length (state_preds t v)))
+    vertices;
+  let queue = Queue.create () in
+  List.iter
+    (fun v -> if Hashtbl.find indeg v = 0 then Queue.add v queue)
+    vertices;
+  let order = ref [] in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    order := v :: !order;
+    List.iter
+      (fun s ->
+        let d = Hashtbl.find indeg s - 1 in
+        Hashtbl.replace indeg s d;
+        if d = 0 then Queue.add s queue)
+      (state_succs t v)
+  done;
+  let order = List.rev !order in
+  if List.length order <> List.length vertices then
+    failwith "Threaded_graph.label: scheduling state contains a cycle";
+  List.iter
+    (fun v ->
+      let n = Vec.get t.nodes v in
+      let best =
+        List.fold_left
+          (fun acc p -> max acc (Vec.get t.nodes p).sdist)
+          0 (state_preds t v)
+      in
+      n.sdist <- best + Graph.delay t.graph v)
+    order;
+  List.iter
+    (fun v ->
+      let n = Vec.get t.nodes v in
+      let best =
+        List.fold_left
+          (fun acc s -> max acc (Vec.get t.nodes s).tdist)
+          0 (state_succs t v)
+      in
+      n.tdist <- best + Graph.delay t.graph v)
+    (List.rev order)
+
+let diameter t =
+  sync t;
+  if t.n_scheduled = 0 then 0
+  else begin
+    label t;
+    List.fold_left
+      (fun acc v -> max acc (Vec.get t.nodes v).sdist)
+      0 (scheduled_vertices t)
+  end
+
+let precedes t u v =
+  sync t;
+  if not ((Vec.get t.nodes u).scheduled && (Vec.get t.nodes v).scheduled)
+  then false
+  else begin
+    (* BFS over state successors. *)
+    let visited = Hashtbl.create 16 in
+    let queue = Queue.create () in
+    Queue.add u queue;
+    let found = ref false in
+    while not (!found || Queue.is_empty queue) do
+      let w = Queue.pop queue in
+      List.iter
+        (fun s ->
+          if s = v then found := true
+          else if not (Hashtbl.mem visited s) then begin
+            Hashtbl.replace visited s ();
+            Queue.add s queue
+          end)
+        (state_succs t w)
+    done;
+    !found
+  end
+
+(* --- select ------------------------------------------------------- *)
+
+(* Scheduled graph-ancestors / graph-descendants of v (the paper's
+   "∀p, p ≺_G v" — the transitive relation, not just direct preds). *)
+let scheduled_ancestors t v =
+  List.filter (fun p -> (Vec.get t.nodes p).scheduled) (Reach.ancestors t.reach v)
+
+let scheduled_descendants t v =
+  List.filter
+    (fun q -> (Vec.get t.nodes q).scheduled)
+    (Reach.descendants t.reach v)
+
+(* Mark the up-set of [sources] (everything ⪯_S some source) walking
+   state preds; the down-set walks succs. Returns a membership table. *)
+let closure t ~backward sources =
+  let mark = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  List.iter
+    (fun v ->
+      if not (Hashtbl.mem mark v) then begin
+        Hashtbl.replace mark v ();
+        Queue.add v queue
+      end)
+    sources;
+  while not (Queue.is_empty queue) do
+    let w = Queue.pop queue in
+    let neighbours = if backward then state_preds t w else state_succs t w in
+    List.iter
+      (fun x ->
+        if not (Hashtbl.mem mark x) then begin
+          Hashtbl.replace mark x ();
+          Queue.add x queue
+        end)
+      neighbours
+  done;
+  mark
+
+let is_free_op t v =
+  Graph.delay t.graph v = 0
+  || Resources.class_of_op (Graph.op t.graph v) = None
+
+let allowed_threads t v =
+  match Resources.class_of_op (Graph.op t.graph v) with
+  | None -> []
+  | Some cls ->
+    List.filter
+      (fun k -> Resources.equal_class t.classes.(k) cls)
+      (List.init (n_threads t) Fun.id)
+
+(* All feasible positions with their costs, in deterministic scan order.
+   Requires [label] to be fresh; [up]/[down] are the feasibility marks. *)
+let scan_positions t v ~up ~down ~intrinsic_src ~intrinsic_snk =
+  let delay_v = Graph.delay t.graph v in
+  let result = ref [] in
+  List.iter
+    (fun k ->
+      (* Position at the head of thread k. *)
+      let first = t.head.(k) in
+      let head_feasible = first < 0 || not (Hashtbl.mem up first) in
+      if head_feasible then begin
+        let tdist_next =
+          if first < 0 then 0 else (Vec.get t.nodes first).tdist
+        in
+        let cost =
+          max 0 intrinsic_src + max tdist_next intrinsic_snk + delay_v
+        in
+        result := ({ thread = k; after = None }, cost) :: !result
+      end;
+      (* Positions after each member. *)
+      let rec walk w =
+        if w >= 0 then begin
+          let nw = Vec.get t.nodes w in
+          let next = nw.next in
+          let feasible =
+            (not (Hashtbl.mem down w))
+            && (next < 0 || not (Hashtbl.mem up next))
+          in
+          if feasible then begin
+            let tdist_next =
+              if next < 0 then 0 else (Vec.get t.nodes next).tdist
+            in
+            let cost =
+              max nw.sdist intrinsic_src
+              + max tdist_next intrinsic_snk
+              + delay_v
+            in
+            result := ({ thread = k; after = Some w }, cost) :: !result
+          end;
+          walk next
+        end
+      in
+      walk t.head.(k))
+    (allowed_threads t v);
+  List.rev !result
+
+let select_context t v =
+  label t;
+  let ancestors = scheduled_ancestors t v in
+  let descendants = scheduled_descendants t v in
+  let intrinsic_src =
+    List.fold_left (fun acc p -> max acc (Vec.get t.nodes p).sdist) 0 ancestors
+  in
+  let intrinsic_snk =
+    List.fold_left
+      (fun acc q -> max acc (Vec.get t.nodes q).tdist)
+      0 descendants
+  in
+  let up = closure t ~backward:true ancestors in
+  let down = closure t ~backward:false descendants in
+  (up, down, intrinsic_src, intrinsic_snk)
+
+let feasible_positions t v =
+  sync t;
+  if (Vec.get t.nodes v).scheduled then []
+  else if is_free_op t v then []
+  else begin
+    let up, down, intrinsic_src, intrinsic_snk = select_context t v in
+    List.map fst (scan_positions t v ~up ~down ~intrinsic_src ~intrinsic_snk)
+  end
+
+let predicted_cost t v position =
+  sync t;
+  let up, down, intrinsic_src, intrinsic_snk = select_context t v in
+  let costed = scan_positions t v ~up ~down ~intrinsic_src ~intrinsic_snk in
+  match List.assoc_opt position costed with
+  | Some cost -> cost
+  | None -> invalid_arg "Threaded_graph.predicted_cost: infeasible position"
+
+(* --- commit ------------------------------------------------------- *)
+
+let renumber_thread t k =
+  let rec walk v i =
+    if v >= 0 then begin
+      let n = Vec.get t.nodes v in
+      n.pos <- i;
+      walk n.next (i + 1)
+    end
+  in
+  walk t.head.(k) 0
+
+let add_explicit_edge t p v =
+  let np = Vec.get t.nodes p and nv = Vec.get t.nodes v in
+  if not (List.mem v np.succs) then begin
+    np.succs <- v :: np.succs;
+    nv.preds <- p :: nv.preds
+  end
+
+let remove_explicit_edge t p v =
+  let np = Vec.get t.nodes p and nv = Vec.get t.nodes v in
+  np.succs <- List.filter (fun x -> x <> v) np.succs;
+  nv.preds <- List.filter (fun x -> x <> p) nv.preds
+
+(* p's unique explicit successor living in thread k, if any. *)
+let succ_in_thread t p k =
+  List.find_opt (fun x -> (Vec.get t.nodes x).thread = k) (Vec.get t.nodes p).succs
+
+let pred_in_thread t q k =
+  List.find_opt (fun x -> (Vec.get t.nodes x).thread = k) (Vec.get t.nodes q).preds
+
+(* Tighten edges between the freshly placed [v] and one scheduled
+   graph-ancestor [p] (Figure 2 (a)(b)(c), with the same-thread-pred
+   collapse repair of DESIGN.md §2.4). [k] is v's thread (-1 if free). *)
+let link_ancestor t ~v ~k p =
+  let np = Vec.get t.nodes p in
+  if np.thread = k && k >= 0 then
+    (* Same thread: feasibility guaranteed p sits before v; implicit. *)
+    ()
+  else begin
+    let wanted =
+      if k < 0 then true
+      else
+        match succ_in_thread t p k with
+        | None -> true
+        | Some e ->
+          let ne = Vec.get t.nodes e and nv = Vec.get t.nodes v in
+          if ne.pos < nv.pos then false (* p -> e -> … -> v implied *)
+          else begin
+            remove_explicit_edge t p e;
+            (* p ≺ e stays implied via p -> v -> … -> e. *)
+            true
+          end
+    in
+    if wanted then begin
+      (* v keeps at most one explicit pred per foreign thread: the
+         latest one. Free preds are never collapsed. *)
+      if np.thread >= 0 then begin
+        match pred_in_thread t v np.thread with
+        | Some p' when p' <> p ->
+          let np' = Vec.get t.nodes p' in
+          if np'.pos >= np.pos then () (* existing pred is later: keep it *)
+          else begin
+            remove_explicit_edge t p' v;
+            add_explicit_edge t p v
+          end
+        | Some _ | None -> add_explicit_edge t p v
+      end
+      else add_explicit_edge t p v
+    end
+  end
+
+(* Mirror image for a scheduled graph-descendant [q]
+   (Figure 2 (d)(e)(f)). *)
+let link_descendant t ~v ~k q =
+  let nq = Vec.get t.nodes q in
+  if nq.thread = k && k >= 0 then ()
+  else begin
+    let wanted =
+      if k < 0 then true
+      else
+        match pred_in_thread t q k with
+        | None -> true
+        | Some e ->
+          let ne = Vec.get t.nodes e and nv = Vec.get t.nodes v in
+          if ne.pos > nv.pos then false (* v -> … -> e -> q implied *)
+          else begin
+            remove_explicit_edge t e q;
+            true
+          end
+    in
+    if wanted then begin
+      if nq.thread >= 0 then begin
+        match succ_in_thread t v nq.thread with
+        | Some q' when q' <> q ->
+          let nq' = Vec.get t.nodes q' in
+          if nq'.pos <= nq.pos then () (* existing succ is earlier: keep *)
+          else begin
+            remove_explicit_edge t v q';
+            add_explicit_edge t v q
+          end
+        | Some _ | None -> add_explicit_edge t v q
+      end
+      else add_explicit_edge t v q
+    end
+  end
+
+let splice t v { thread = k; after } =
+  let nv = Vec.get t.nodes v in
+  nv.thread <- k;
+  (match after with
+  | None ->
+    let first = t.head.(k) in
+    nv.prev <- -1;
+    nv.next <- first;
+    if first >= 0 then (Vec.get t.nodes first).prev <- v
+    else t.tail.(k) <- v;
+    t.head.(k) <- v
+  | Some w ->
+    let nw = Vec.get t.nodes w in
+    if nw.thread <> k then
+      invalid_arg "Threaded_graph.splice: anchor not in the target thread";
+    let next = nw.next in
+    nv.prev <- w;
+    nv.next <- next;
+    nw.next <- v;
+    if next >= 0 then (Vec.get t.nodes next).prev <- v
+    else t.tail.(k) <- v);
+  renumber_thread t k
+
+let commit t v position =
+  let nv = Vec.get t.nodes v in
+  splice t v position;
+  nv.scheduled <- true;
+  t.n_scheduled <- t.n_scheduled + 1;
+  let k = position.thread in
+  List.iter (fun p -> link_ancestor t ~v ~k p) (scheduled_ancestors t v);
+  List.iter (fun q -> link_descendant t ~v ~k q) (scheduled_descendants t v)
+
+let commit_free t v =
+  let nv = Vec.get t.nodes v in
+  nv.thread <- -1;
+  nv.scheduled <- true;
+  t.n_scheduled <- t.n_scheduled + 1;
+  List.iter (fun p -> link_ancestor t ~v ~k:(-1) p) (scheduled_ancestors t v);
+  List.iter (fun q -> link_descendant t ~v ~k:(-1) q) (scheduled_descendants t v)
+
+let commit_at t v position =
+  sync t;
+  let nv = node t v in
+  if nv.scheduled then
+    invalid_arg "Threaded_graph.commit_at: vertex already scheduled";
+  if is_free_op t v then
+    invalid_arg "Threaded_graph.commit_at: zero-resource op is placed free";
+  let feasible = feasible_positions t v in
+  if not (List.mem position feasible) then
+    invalid_arg "Threaded_graph.commit_at: infeasible position";
+  commit t v position
+
+type tie_break = [ `First | `Balance | `Pack ]
+
+let thread_population t k =
+  let rec walk v acc =
+    if v < 0 then acc else walk (Vec.get t.nodes v).next (acc + 1)
+  in
+  walk t.head.(k) 0
+
+let schedule ?(tie = `First) t v =
+  sync t;
+  let nv = node t v in
+  if not nv.scheduled then begin
+    if is_free_op t v then commit_free t v
+    else begin
+      let up, down, intrinsic_src, intrinsic_snk = select_context t v in
+      let costed =
+        scan_positions t v ~up ~down ~intrinsic_src ~intrinsic_snk
+      in
+      match costed with
+      | [] ->
+        invalid_arg
+          (Printf.sprintf
+             "Threaded_graph.schedule: no thread can execute %s (%s)"
+             (Graph.name t.graph v)
+             (Op.to_string (Graph.op t.graph v)))
+      | (first_pos, first_cost) :: rest ->
+        let best_cost =
+          List.fold_left (fun acc (_, c) -> min acc c) first_cost rest
+        in
+        let minima =
+          List.filter (fun (_, c) -> c = best_cost)
+            ((first_pos, first_cost) :: rest)
+        in
+        let best_pos =
+          match tie, minima with
+          | _, [] -> assert false
+          | `First, (p, _) :: _ -> p
+          | (`Balance | `Pack), (p0, _) :: rest ->
+            let weigh p =
+              let population = thread_population t p.thread in
+              if tie = `Pack then -population else population
+            in
+            fst
+              (List.fold_left
+                 (fun (bp, bw) (p, _) ->
+                   let w = weigh p in
+                   if w < bw then (p, w) else (bp, bw))
+                 (p0, weigh p0) rest)
+        in
+        commit t v best_pos
+    end
+  end
+
+let schedule_all ?tie t order = List.iter (schedule ?tie t) order
+
+(* --- export ------------------------------------------------------- *)
+
+let state_graph t =
+  sync t;
+  let g = Graph.create () in
+  Graph.iter_vertices
+    (fun v ->
+      let scheduled = (Vec.get t.nodes v).scheduled in
+      let delay = if scheduled then Graph.delay t.graph v else 0 in
+      let op = if scheduled then Graph.op t.graph v else Op.Const 0 in
+      let id = Graph.add_vertex g ~delay ~name:(Graph.name t.graph v) op in
+      assert (id = v))
+    t.graph;
+  List.iter
+    (fun v ->
+      List.iter (fun s -> Graph.add_edge g v s) (state_succs t v))
+    (scheduled_vertices t);
+  g
+
+let to_schedule ?(placement = `Asap) t =
+  sync t;
+  if t.n_scheduled <> Graph.n_vertices t.graph then
+    invalid_arg
+      (Printf.sprintf
+         "Threaded_graph.to_schedule: %d of %d vertices scheduled"
+         t.n_scheduled (Graph.n_vertices t.graph));
+  label t;
+  let dia =
+    List.fold_left
+      (fun acc v -> max acc (Vec.get t.nodes v).sdist)
+      0 (scheduled_vertices t)
+  in
+  let starts =
+    Array.init (Graph.n_vertices t.graph) (fun v ->
+        let n = Vec.get t.nodes v in
+        match placement with
+        | `Asap -> n.sdist - Graph.delay t.graph v
+        | `Alap -> dia - n.tdist)
+  in
+  Schedule.make t.graph ~starts
+
+type stats = {
+  n_scheduled : int;
+  n_in_threads : int;
+  n_free : int;
+  n_state_edges : int;
+  max_thread_in_degree : int;
+  max_thread_out_degree : int;
+  ordered_pairs : int;
+}
+
+let stats t =
+  sync t;
+  let scheduled = scheduled_vertices t in
+  let in_thread v = (Vec.get t.nodes v).thread >= 0 in
+  let n_in_threads = List.length (List.filter in_thread scheduled) in
+  let n_state_edges =
+    List.fold_left
+      (fun acc v -> acc + List.length (state_succs t v))
+      0 scheduled
+  in
+  let degree_over select =
+    List.fold_left
+      (fun acc v ->
+        max acc (List.length (List.filter in_thread (select t v))))
+      0 scheduled
+  in
+  let ordered_pairs =
+    Reach.count_pairs (Reach.of_graph (state_graph t))
+  in
+  {
+    n_scheduled = t.n_scheduled;
+    n_in_threads;
+    n_free = t.n_scheduled - n_in_threads;
+    n_state_edges;
+    max_thread_in_degree = degree_over state_preds;
+    max_thread_out_degree = degree_over state_succs;
+    ordered_pairs;
+  }
+
+let copy t =
+  sync t;
+  let nodes = Vec.create ~capacity:(Vec.length t.nodes) ~dummy:(fresh_node ()) () in
+  Vec.iter
+    (fun n ->
+      ignore
+        (Vec.push nodes
+           {
+             scheduled = n.scheduled;
+             thread = n.thread;
+             prev = n.prev;
+             next = n.next;
+             pos = n.pos;
+             preds = n.preds;
+             succs = n.succs;
+             sdist = n.sdist;
+             tdist = n.tdist;
+           }))
+    t.nodes;
+  {
+    graph = t.graph;
+    classes = Array.copy t.classes;
+    head = Array.copy t.head;
+    tail = Array.copy t.tail;
+    nodes;
+    n_scheduled = t.n_scheduled;
+    reach = t.reach;
+    reach_signature = t.reach_signature;
+  }

@@ -1,0 +1,1 @@
+lib/dfg/delay.ml: Op

@@ -1,0 +1,1 @@
+lib/dfg/delay.mli: Op

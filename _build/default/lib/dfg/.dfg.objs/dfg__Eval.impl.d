@@ -1,0 +1,1 @@
+lib/dfg/eval.ml: Array Graph List Op Printf Topo

@@ -1,0 +1,1 @@
+lib/dfg/generate.ml: Array Graph List Op Printf Random

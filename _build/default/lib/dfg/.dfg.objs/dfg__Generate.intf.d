@@ -1,0 +1,1 @@
+lib/dfg/generate.mli: Graph Op Random

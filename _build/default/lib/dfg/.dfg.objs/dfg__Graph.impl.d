@@ -1,0 +1,1 @@
+lib/dfg/graph.ml: Array Delay Format Fun List Op Printf Queue String Vec

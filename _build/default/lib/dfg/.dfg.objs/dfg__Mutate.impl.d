@@ -1,0 +1,1 @@
+lib/dfg/mutate.ml: Graph List Op Printf

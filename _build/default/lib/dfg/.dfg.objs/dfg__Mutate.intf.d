@@ -1,0 +1,1 @@
+lib/dfg/mutate.mli: Graph Op

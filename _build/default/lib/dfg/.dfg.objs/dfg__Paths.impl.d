@@ -1,0 +1,1 @@
+lib/dfg/paths.ml: Array Graph List Printf Topo

@@ -1,0 +1,1 @@
+lib/dfg/paths.mli: Graph

@@ -1,0 +1,1 @@
+lib/dfg/reach.ml: Array Bytes Char Graph List Printf Topo

@@ -1,0 +1,1 @@
+lib/dfg/reach.mli: Graph

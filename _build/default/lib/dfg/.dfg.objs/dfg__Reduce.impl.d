@@ -1,0 +1,1 @@
+lib/dfg/reduce.ml: Graph List Reach

@@ -1,0 +1,1 @@
+lib/dfg/serial.ml: Buffer Fun Graph Hashtbl List Op Printf String

@@ -1,0 +1,1 @@
+lib/dfg/serial.mli: Graph

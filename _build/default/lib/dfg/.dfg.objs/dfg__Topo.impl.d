@@ -1,0 +1,1 @@
+lib/dfg/topo.ml: Array Graph List Queue

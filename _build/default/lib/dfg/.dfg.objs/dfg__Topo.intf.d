@@ -1,0 +1,1 @@
+lib/dfg/topo.mli: Graph

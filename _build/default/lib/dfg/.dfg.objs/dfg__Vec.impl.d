@@ -1,0 +1,1 @@
+lib/dfg/vec.ml: Array List Printf

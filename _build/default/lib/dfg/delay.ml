@@ -1,0 +1,11 @@
+let of_op : Op.t -> int = function
+  | Mul | Div | Mac | Msu -> 2
+  | Add | Sub | Neg | Lt | Gt | Eq | And | Or | Xor | Shl | Shr | Select -> 1
+  | Load | Store | Mov | Wire -> 1
+  | Const _ | Input _ | Output _ -> 0
+
+let unit_delay : Op.t -> int = function
+  | Const _ | Input _ | Output _ -> 0
+  | Add | Sub | Mul | Div | Neg | Lt | Gt | Eq | And | Or | Xor | Shl | Shr | Select | Mac | Msu
+  | Mov | Load | Store | Wire ->
+    1

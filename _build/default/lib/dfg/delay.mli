@@ -1,0 +1,16 @@
+(** The cycle-delay model used throughout the reproduction.
+
+    The DAC-99 paper never states its delay assignment, but the Figure 3
+    numbers pin it down: the elliptic wave filter reaches 17 control steps
+    under ample resources and HAL reaches 6, which are the classic values
+    for single-cycle ALU operations and a two-cycle multiplier. *)
+
+val of_op : Op.t -> int
+(** Default delay: [Mul]/[Div] take 2 cycles; [Add]/[Sub]/comparisons/
+    logic take 1; [Load]/[Store] take 1 (on-chip background memory);
+    [Mov] takes 1; [Const]/[Input]/[Output] take 0; [Wire] delay is
+    context-dependent and defaults to 1 (refinement passes override it). *)
+
+val unit_delay : Op.t -> int
+(** Every operation takes one cycle except zero-delay pseudo-ops; used by
+    tests that compare against textbook unit-delay schedules. *)

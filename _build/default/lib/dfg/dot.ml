@@ -1,0 +1,61 @@
+let escape s =
+  String.concat ""
+    (List.map
+       (fun c ->
+         match c with '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let vertex_label g v =
+  Printf.sprintf "%s: %s (%d)" (Graph.name g v)
+    (Op.symbol (Graph.op g v))
+    (Graph.delay g v)
+
+let of_graph ?(highlight = []) g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph G {\n  rankdir=TB;\n  node [shape=ellipse];\n";
+  Graph.iter_vertices
+    (fun v ->
+      let extra =
+        if List.mem v highlight then
+          " style=filled fillcolor=\"#ffd27f\""
+        else ""
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%s\"%s];\n" v
+           (escape (vertex_label g v))
+           extra))
+    g;
+  Graph.iter_edges
+    (fun u v -> Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" u v))
+    g;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let of_schedule g ~starts =
+  if Array.length starts <> Graph.n_vertices g then
+    invalid_arg "Dot.of_schedule: starts array size mismatch";
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph S {\n  rankdir=TB;\n  node [shape=box];\n";
+  let steps = Array.fold_left max 0 starts in
+  for step = 0 to steps do
+    let members =
+      List.filter (fun v -> starts.(v) = step) (Graph.vertices g)
+    in
+    if members <> [] then begin
+      Buffer.add_string buf
+        (Printf.sprintf "  subgraph cluster_%d {\n    label=\"step %d\";\n"
+           step step);
+      List.iter
+        (fun v ->
+          Buffer.add_string buf
+            (Printf.sprintf "    n%d [label=\"%s\"];\n" v
+               (escape (vertex_label g v))))
+        members;
+      Buffer.add_string buf "  }\n"
+    end
+  done;
+  Graph.iter_edges
+    (fun u v -> Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" u v))
+    g;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,9 @@
+(** Graphviz export of precedence graphs and schedules. *)
+
+val of_graph : ?highlight:Graph.vertex list -> Graph.t -> string
+(** DOT text; vertices labelled ["name: symbol (d)"]. [highlight]ed
+    vertices (e.g. the critical path) are drawn filled. *)
+
+val of_schedule : Graph.t -> starts:int array -> string
+(** DOT text with vertices ranked by start control step (one cluster per
+    step), visualising a hard schedule. *)

@@ -1,0 +1,31 @@
+type env = (string * int) list
+
+let run g env =
+  let values = Array.make (Graph.n_vertices g) 0 in
+  let eval_vertex v =
+    let op = Graph.op g v in
+    let args = List.map (fun p -> values.(p)) (Graph.preds g v) in
+    let value =
+      match op with
+      | Op.Input name -> List.assoc name env
+      | op ->
+        if List.length args <> Op.arity op then
+          invalid_arg
+            (Printf.sprintf "Eval.run: %s at %s has %d operands, expected %d"
+               (Op.to_string op) (Graph.name g v) (List.length args)
+               (Op.arity op))
+        else Op.eval op args
+    in
+    values.(v) <- value
+  in
+  List.iter eval_vertex (Topo.sort g);
+  values
+
+let outputs g env =
+  let values = run g env in
+  List.filter_map
+    (fun v ->
+      match Graph.op g v with
+      | Op.Output name -> Some (name, values.(v))
+      | _ -> None)
+    (Graph.vertices g)

@@ -1,0 +1,142 @@
+let op_pool = [| Op.Add; Op.Sub; Op.Mul; Op.Lt; Op.And; Op.Xor |]
+
+let random_op rng = op_pool.(Random.State.int rng (Array.length op_pool))
+
+let random_dag rng ~n ~edge_prob =
+  if n < 0 then invalid_arg "Generate.random_dag: negative size";
+  let g = Graph.create () in
+  let ids = Array.init n (fun _ -> Graph.add_vertex g (random_op rng)) in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Random.State.float rng 1.0 < edge_prob then
+        Graph.add_edge g ids.(i) ids.(j)
+    done
+  done;
+  g
+
+let layered rng ~layers ~width ~fanin =
+  if layers < 0 || width <= 0 then invalid_arg "Generate.layered: bad shape";
+  let g = Graph.create () in
+  let previous = ref [||] in
+  for _layer = 1 to layers do
+    let current =
+      Array.init width (fun _ -> Graph.add_vertex g (random_op rng))
+    in
+    let prev = !previous in
+    if Array.length prev > 0 then
+      Array.iter
+        (fun v ->
+          let wanted = min fanin (Array.length prev) in
+          (* Sample [wanted] distinct predecessors by partial shuffle. *)
+          let pool = Array.copy prev in
+          for i = 0 to wanted - 1 do
+            let j = i + Random.State.int rng (Array.length pool - i) in
+            let tmp = pool.(i) in
+            pool.(i) <- pool.(j);
+            pool.(j) <- tmp;
+            Graph.add_edge g pool.(i) v
+          done)
+        current;
+    previous := current
+  done;
+  g
+
+let chain ~n =
+  let g = Graph.create () in
+  let prev = ref None in
+  for _i = 1 to n do
+    let v = Graph.add_vertex g Op.Add in
+    (match !prev with Some p -> Graph.add_edge g p v | None -> ());
+    prev := Some v
+  done;
+  g
+
+let fork_join ~width =
+  if width <= 0 then invalid_arg "Generate.fork_join: width must be positive";
+  let g = Graph.create () in
+  let source = Graph.add_vertex g (Op.Input "x") in
+  let middle =
+    List.init width (fun i ->
+        let v = Graph.add_vertex g (if i mod 2 = 0 then Op.Mul else Op.Add) in
+        Graph.add_edge g source v;
+        v)
+  in
+  (* Binary reduction tree over the middle layer. *)
+  let rec reduce = function
+    | [] -> ()
+    | [ _last ] -> ()
+    | nodes ->
+      let rec pair acc = function
+        | a :: b :: rest ->
+          let j = Graph.add_vertex g Op.Add in
+          Graph.add_edge g a j;
+          Graph.add_edge g b j;
+          pair (j :: acc) rest
+        | [ a ] -> List.rev (a :: acc)
+        | [] -> List.rev acc
+      in
+      reduce (pair [] nodes)
+  in
+  reduce middle;
+  g
+
+(* A component is (entry vertices, exit vertices). Series wires every
+   exit of A to every entry of B (bounded fan); parallel unions. *)
+let series_parallel rng ~size =
+  if size < 1 then invalid_arg "Generate.series_parallel: size must be >= 1";
+  let g = Graph.create () in
+  let single () =
+    let v = Graph.add_vertex g (random_op rng) in
+    ([ v ], [ v ])
+  in
+  let rec build budget =
+    if budget <= 1 then single ()
+    else begin
+      let left_budget = 1 + Random.State.int rng (budget - 1) in
+      let right_budget = budget - left_budget in
+      if Random.State.bool rng then begin
+        (* series: A ; B *)
+        let a_in, a_out = build left_budget in
+        let b_in, b_out = build right_budget in
+        List.iter
+          (fun src ->
+            List.iter (fun dst -> Graph.add_edge g src dst) b_in)
+          a_out;
+        (a_in, b_out)
+      end
+      else begin
+        (* parallel: A || B *)
+        let a_in, a_out = build left_budget in
+        let b_in, b_out = build right_budget in
+        (a_in @ b_in, a_out @ b_out)
+      end
+    end
+  in
+  let _ = build size in
+  g
+
+let expression_tree rng ~depth =
+  let g = Graph.create () in
+  let counter = ref 0 in
+  let rec build depth =
+    if depth = 0 then begin
+      incr counter;
+      Graph.add_vertex g (Op.Input (Printf.sprintf "x%d" !counter))
+    end
+    else begin
+      let l = build (depth - 1) in
+      let r = build (depth - 1) in
+      let op =
+        match random_op rng with
+        | Op.Lt -> Op.Add (* keep trees arithmetic *)
+        | op -> op
+      in
+      let v = Graph.add_vertex g op in
+      Graph.add_edge g l v;
+      Graph.add_edge g r v;
+      v
+    end
+  in
+  if depth < 0 then invalid_arg "Generate.expression_tree: negative depth";
+  let _root = build depth in
+  g

@@ -1,0 +1,38 @@
+(** Synthetic precedence graphs for property tests and scaling benches.
+
+    All generators are deterministic given the supplied [Random.State];
+    vertices carry arithmetic ops drawn so that ALU and multiplier
+    classes both appear (mirroring the benchmark mix). *)
+
+val random_dag :
+  Random.State.t -> n:int -> edge_prob:float -> Graph.t
+(** Erdős–Rényi-style DAG: vertices [0..n-1]; each forward pair [(i, j)],
+    [i < j], becomes an edge with probability [edge_prob]. *)
+
+val layered :
+  Random.State.t -> layers:int -> width:int -> fanin:int -> Graph.t
+(** [layers] ranks of [width] vertices; every non-first-layer vertex
+    draws [min fanin width] distinct predecessors from the previous
+    layer. The shape of typical dataflow extracted from loop bodies. *)
+
+val chain : n:int -> Graph.t
+(** A single dependence chain — worst case for parallelism. *)
+
+val fork_join : width:int -> Graph.t
+(** One source fanning out to [width] independent ops joined by a
+    reduction tree — best case for parallelism. *)
+
+val expression_tree : Random.State.t -> depth:int -> Graph.t
+(** Random binary expression tree of the given depth (leaves are
+    inputs). *)
+
+val series_parallel : Random.State.t -> size:int -> Graph.t
+(** Random series-parallel DAG, the canonical shape of structured
+    dataflow: recursively either a series composition (A then B) or a
+    parallel composition (A beside B, sharing source and sink sides via
+    fork/join ops), bottoming out in single operations. [size] bounds
+    the recursion budget. *)
+
+val random_op : Random.State.t -> Op.t
+(** Uniform draw over {Add, Sub, Mul, Lt, And, Xor} — the mix used by
+    all generators above. *)

@@ -1,0 +1,154 @@
+type vertex = int
+
+type node = {
+  op : Op.t;
+  mutable delay : int;
+  name : string;
+  mutable preds : vertex list; (* operand order *)
+  mutable succs : vertex list; (* insertion order *)
+}
+
+type t = { nodes : node Vec.t; mutable n_edges : int }
+
+let dummy_node =
+  { op = Op.Const 0; delay = 0; name = ""; preds = []; succs = [] }
+
+let create () = { nodes = Vec.create ~dummy:dummy_node (); n_edges = 0 }
+
+let n_vertices g = Vec.length g.nodes
+let n_edges g = g.n_edges
+
+let node g v =
+  if v < 0 || v >= n_vertices g then
+    invalid_arg (Printf.sprintf "Graph: unknown vertex %d" v);
+  Vec.get g.nodes v
+
+let add_vertex g ?delay ?name op =
+  let delay = match delay with Some d -> d | None -> Delay.of_op op in
+  if delay < 0 then invalid_arg "Graph.add_vertex: negative delay";
+  let id = Vec.length g.nodes in
+  let name = match name with Some n -> n | None -> Printf.sprintf "v%d" id in
+  let _index = Vec.push g.nodes { op; delay; name; preds = []; succs = [] } in
+  id
+
+let mem_edge g u v =
+  let nu = node g u in
+  List.mem v nu.succs
+
+let add_edge g u v =
+  if u = v then invalid_arg "Graph.add_edge: self loop";
+  let nu = node g u and nv = node g v in
+  if not (List.mem v nu.succs) then begin
+    nu.succs <- nu.succs @ [ v ];
+    nv.preds <- nv.preds @ [ u ];
+    g.n_edges <- g.n_edges + 1
+  end
+
+let remove_edge g u v =
+  let nu = node g u and nv = node g v in
+  if not (List.mem v nu.succs) then
+    invalid_arg (Printf.sprintf "Graph.remove_edge: no edge %d -> %d" u v);
+  nu.succs <- List.filter (fun w -> w <> v) nu.succs;
+  (* preds may list u several times only if duplicate edges were allowed;
+     they are not, so removing all occurrences removes exactly one. *)
+  nv.preds <- List.filter (fun w -> w <> u) nv.preds;
+  g.n_edges <- g.n_edges - 1
+
+let replace_operand g v ~old_pred ~new_pred =
+  let nv = node g v in
+  if not (List.mem old_pred nv.preds) then
+    invalid_arg
+      (Printf.sprintf "Graph.replace_operand: %d does not feed %d" old_pred v);
+  let replaced = ref false in
+  nv.preds <-
+    List.map
+      (fun p ->
+        if p = old_pred && not !replaced then begin
+          replaced := true;
+          new_pred
+        end
+        else p)
+      nv.preds;
+  let n_old = node g old_pred in
+  n_old.succs <- List.filter (fun w -> w <> v) n_old.succs;
+  let n_new = node g new_pred in
+  if not (List.mem v n_new.succs) then n_new.succs <- n_new.succs @ [ v ]
+  else g.n_edges <- g.n_edges - 1
+
+let op g v = (node g v).op
+let delay g v = (node g v).delay
+let set_delay g v d =
+  if d < 0 then invalid_arg "Graph.set_delay: negative delay";
+  (node g v).delay <- d
+
+let name g v = (node g v).name
+let preds g v = (node g v).preds
+let succs g v = (node g v).succs
+let in_degree g v = List.length (preds g v)
+let out_degree g v = List.length (succs g v)
+
+let vertices g = List.init (n_vertices g) Fun.id
+
+let iter_vertices f g =
+  for v = 0 to n_vertices g - 1 do
+    f v
+  done
+
+let fold_vertices f acc g =
+  let acc = ref acc in
+  iter_vertices (fun v -> acc := f !acc v) g;
+  !acc
+
+let iter_edges f g = iter_vertices (fun u -> List.iter (f u) (succs g u)) g
+
+let edges g =
+  List.rev
+    (fold_vertices
+       (fun acc u -> List.fold_left (fun acc v -> (u, v) :: acc) acc (succs g u))
+       [] g)
+
+let sources g = List.filter (fun v -> preds g v = []) (vertices g)
+let sinks g = List.filter (fun v -> succs g v = []) (vertices g)
+
+(* Kahn's algorithm; a graph is a DAG iff every vertex gets popped. *)
+let is_dag g =
+  let n = n_vertices g in
+  let indeg = Array.make n 0 in
+  iter_edges (fun _ v -> indeg.(v) <- indeg.(v) + 1) g;
+  let queue = Queue.create () in
+  Array.iteri (fun v d -> if d = 0 then Queue.add v queue) indeg;
+  let popped = ref 0 in
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    incr popped;
+    List.iter
+      (fun v ->
+        indeg.(v) <- indeg.(v) - 1;
+        if indeg.(v) = 0 then Queue.add v queue)
+      (succs g u)
+  done;
+  !popped = n
+
+let copy g =
+  let nodes = Vec.create ~capacity:(max 1 (n_vertices g)) ~dummy:dummy_node () in
+  Vec.iter
+    (fun n ->
+      ignore
+        (Vec.push nodes
+           { op = n.op; delay = n.delay; name = n.name; preds = n.preds;
+             succs = n.succs }))
+    g.nodes;
+  { nodes; n_edges = g.n_edges }
+
+let total_delay g = fold_vertices (fun acc v -> acc + delay g v) 0 g
+
+let pp fmt g =
+  Format.fprintf fmt "@[<v>graph: %d vertices, %d edges" (n_vertices g)
+    (n_edges g);
+  iter_vertices
+    (fun v ->
+      Format.fprintf fmt "@,  %s [%a, d=%d] -> %s" (name g v) Op.pp (op g v)
+        (delay g v)
+        (String.concat ", " (List.map (name g) (succs g v))))
+    g;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,73 @@
+(** Precedence graphs (Definition 1 of the paper).
+
+    A precedence graph is a DAG [G = (V, E, D)] whose vertices are
+    operations, whose edges are data/serialisation dependences and whose
+    delay function [D] gives each vertex a non-negative cycle count.
+
+    Vertices are dense integer ids in [0 .. n_vertices g - 1]; ids are
+    stable (vertices are never removed — refinement passes that "replace"
+    behaviour build a new graph via {!Mutate}). The list of predecessors
+    of a vertex is kept in insertion order because it doubles as the
+    operand list for evaluation of non-commutative operations. *)
+
+type t
+type vertex = int
+
+val create : unit -> t
+
+val add_vertex : t -> ?delay:int -> ?name:string -> Op.t -> vertex
+(** Adds an operation vertex. [delay] defaults to {!Delay.of_op}.
+    [name] is a debugging / output label. *)
+
+val add_edge : t -> vertex -> vertex -> unit
+(** [add_edge g u v] records the dependence [u -> v] ("u before v").
+    Duplicate edges are ignored. @raise Invalid_argument on a self loop
+    or an unknown endpoint. Acyclicity is {e not} checked here (it would
+    make construction quadratic); call {!is_dag} after construction, as
+    every front end and generator in this repository does. *)
+
+val remove_edge : t -> vertex -> vertex -> unit
+(** @raise Invalid_argument if the edge is absent. *)
+
+val replace_operand : t -> vertex -> old_pred:vertex -> new_pred:vertex -> unit
+(** [replace_operand g v ~old_pred ~new_pred] rewires the first operand
+    slot of [v] currently fed by [old_pred] to read from [new_pred],
+    preserving operand order. @raise Invalid_argument if [old_pred] does
+    not feed [v]. *)
+
+val n_vertices : t -> int
+val n_edges : t -> int
+val op : t -> vertex -> Op.t
+val delay : t -> vertex -> int
+val set_delay : t -> vertex -> int -> unit
+val name : t -> vertex -> string
+(** Vertex label; defaults to ["v<i>"]. *)
+
+val preds : t -> vertex -> vertex list
+(** Immediate predecessors in operand order. *)
+
+val succs : t -> vertex -> vertex list
+val in_degree : t -> vertex -> int
+val out_degree : t -> vertex -> int
+val mem_edge : t -> vertex -> vertex -> bool
+val vertices : t -> vertex list
+val iter_vertices : (vertex -> unit) -> t -> unit
+val fold_vertices : ('acc -> vertex -> 'acc) -> 'acc -> t -> 'acc
+val iter_edges : (vertex -> vertex -> unit) -> t -> unit
+val edges : t -> (vertex * vertex) list
+
+val sources : t -> vertex list
+(** Vertices with no predecessors (the paper's "primary inputs"). *)
+
+val sinks : t -> vertex list
+(** Vertices with no successors (the paper's "primary outputs"). *)
+
+val is_dag : t -> bool
+
+val copy : t -> t
+
+val total_delay : t -> int
+(** Sum of all vertex delays — a lower bound on any 1-resource schedule. *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line dump: one vertex per line with op, delay and successors. *)

@@ -1,0 +1,28 @@
+let insert_on_edge g ~src ~dst ~op ?delay ?name () =
+  if not (Graph.mem_edge g src dst) then
+    invalid_arg
+      (Printf.sprintf "Mutate.insert_on_edge: no edge %d -> %d" src dst);
+  let w = Graph.add_vertex g ?delay ?name op in
+  Graph.add_edge g src w;
+  Graph.replace_operand g dst ~old_pred:src ~new_pred:w;
+  w
+
+let insert_spill g ~value ~reload_for =
+  let succs = Graph.succs g value in
+  List.iter
+    (fun c ->
+      if not (List.mem c succs) then
+        invalid_arg
+          (Printf.sprintf "Mutate.insert_spill: %d is not a consumer of %d" c
+             value))
+    reload_for;
+  let st =
+    Graph.add_vertex g ~name:(Graph.name g value ^ "_st") Op.Store
+  in
+  Graph.add_edge g value st;
+  let ld = Graph.add_vertex g ~name:(Graph.name g value ^ "_ld") Op.Load in
+  Graph.add_edge g st ld;
+  List.iter
+    (fun c -> Graph.replace_operand g c ~old_pred:value ~new_pred:ld)
+    reload_for;
+  (st, ld)

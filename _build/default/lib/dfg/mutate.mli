@@ -1,0 +1,23 @@
+(** Behaviour-refining graph edits.
+
+    These model the Section-1 scenarios: spilling and interconnect delay
+    both {e change the original behaviour} by adding vertices. Each edit
+    returns the id(s) of the vertices it created. The edits preserve
+    operand order (the new vertex takes the old producer's slot in each
+    rewritten consumer), so {!Eval.run} still computes the same outputs
+    for value-preserving ops (Wire, Mov, Store/Load pairs). *)
+
+val insert_on_edge :
+  Graph.t -> src:Graph.vertex -> dst:Graph.vertex -> op:Op.t -> ?delay:int ->
+  ?name:string -> unit -> Graph.vertex
+(** Replace edge [src -> dst] with [src -> w -> dst] where [w] is a new
+    vertex. @raise Invalid_argument if the edge does not exist. *)
+
+val insert_spill :
+  Graph.t -> value:Graph.vertex -> reload_for:Graph.vertex list ->
+  Graph.vertex * Graph.vertex
+(** Spill the value produced by [value]: adds [st] (Store) fed by
+    [value] and [ld] (Load) fed by [st]; consumers listed in
+    [reload_for] are rewired to read from [ld] instead of [value]
+    (Figure 1(c)). Returns [(st, ld)].
+    @raise Invalid_argument if some consumer is not a successor. *)

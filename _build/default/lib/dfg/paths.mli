@@ -1,0 +1,37 @@
+(** Longest-path metrics of Definition 1: source distance, sink distance,
+    vertex distance and the graph diameter.
+
+    All distances are {e inclusive} of the endpoint vertex's own delay,
+    matching Lemma 5 of the paper:
+    [distance v = delay v + max sdist(preds) + max tdist(succs)]. *)
+
+val source_distances : Graph.t -> int array
+(** [sdist.(v)] = total delay along the longest path from a source to
+    [v], including [delay v]. *)
+
+val sink_distances : Graph.t -> int array
+(** [tdist.(v)] = total delay along the longest path from [v] to a sink,
+    including [delay v]. *)
+
+val distance_through : Graph.t -> Graph.vertex -> int
+(** The paper's [‖-> v <-‖]: longest source-to-sink path through [v]. *)
+
+val diameter : Graph.t -> int
+(** Longest source-to-sink path; 0 for the empty graph. This is the
+    figure of merit the threaded scheduler minimises (Definition 5). *)
+
+val critical_path : Graph.t -> Graph.vertex list
+(** One longest source-to-sink path, in order. Empty for the empty
+    graph. Deterministic (smallest-id tie-breaking). *)
+
+val asap_starts : Graph.t -> int array
+(** Earliest start time of each vertex with unlimited resources:
+    [sdist v - delay v]. *)
+
+val alap_starts : Graph.t -> deadline:int -> int array
+(** Latest start times meeting [deadline].
+    @raise Invalid_argument if [deadline < diameter g]. *)
+
+val slack : Graph.t -> deadline:int -> int array
+(** [alap - asap] per vertex under [deadline]; 0 on the critical path
+    when [deadline = diameter]. *)

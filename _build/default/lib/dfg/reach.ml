@@ -1,0 +1,80 @@
+(* Row v of [down] is a bitset over vertices: bit u set iff v reaches u. *)
+type t = { n : int; words : int; down : Bytes.t array; up : Bytes.t array }
+
+let bit_set row u = Bytes.set_uint8 row (u lsr 3)
+    (Bytes.get_uint8 row (u lsr 3) lor (1 lsl (u land 7)))
+
+let bit_get row u = Bytes.get_uint8 row (u lsr 3) land (1 lsl (u land 7)) <> 0
+
+let row_or ~into src =
+  let len = Bytes.length into in
+  for i = 0 to len - 1 do
+    Bytes.set_uint8 into i (Bytes.get_uint8 into i lor Bytes.get_uint8 src i)
+  done
+
+let of_graph g =
+  let n = Graph.n_vertices g in
+  let words = (n + 7) / 8 in
+  let make () = Array.init n (fun _ -> Bytes.make (max words 1) '\000') in
+  let down = make () and up = make () in
+  let order = Topo.sort g in
+  (* Reverse topological sweep: v reaches the union of its successors'
+     reach sets plus the successors themselves. *)
+  List.iter
+    (fun v ->
+      List.iter
+        (fun s ->
+          bit_set down.(v) s;
+          row_or ~into:down.(v) down.(s))
+        (Graph.succs g v))
+    (List.rev order);
+  List.iter
+    (fun v ->
+      List.iter
+        (fun p ->
+          bit_set up.(v) p;
+          row_or ~into:up.(v) up.(p))
+        (Graph.preds g v))
+    order;
+  { n; words; down; up }
+
+let check r v =
+  if v < 0 || v >= r.n then
+    invalid_arg (Printf.sprintf "Reach: unknown vertex %d" v)
+
+let precedes r u v =
+  check r u;
+  check r v;
+  bit_get r.down.(u) v
+
+let preceq r u v = u = v || precedes r u v
+let comparable r u v = precedes r u v || precedes r v u
+
+let collect row n =
+  let acc = ref [] in
+  for u = n - 1 downto 0 do
+    if bit_get row u then acc := u :: !acc
+  done;
+  !acc
+
+let descendants r v =
+  check r v;
+  collect r.down.(v) r.n
+
+let ancestors r v =
+  check r v;
+  collect r.up.(v) r.n
+
+let count_pairs r =
+  let count = ref 0 in
+  Array.iter
+    (fun row ->
+      Bytes.iter
+        (fun c ->
+          let byte = Char.code c in
+          for b = 0 to 7 do
+            if byte land (1 lsl b) <> 0 then incr count
+          done)
+        row)
+    r.down;
+  !count

@@ -1,0 +1,29 @@
+(* For a DAG, edge (u, v) is redundant iff some other successor of u
+   still reaches v. *)
+let redundant_edges g =
+  if not (Graph.is_dag g) then
+    invalid_arg "Reduce: input graph is cyclic";
+  let reach = Reach.of_graph g in
+  List.filter
+    (fun (u, v) ->
+      List.exists (fun w -> w <> v && Reach.preceq reach w v) (Graph.succs g u))
+    (Graph.edges g)
+
+let transitive_reduction g =
+  let redundant = redundant_edges g in
+  let reduced = Graph.create () in
+  Graph.iter_vertices
+    (fun v ->
+      let id =
+        Graph.add_vertex reduced ~delay:(Graph.delay g v)
+          ~name:(Graph.name g v) (Graph.op g v)
+      in
+      assert (id = v))
+    g;
+  Graph.iter_edges
+    (fun u v ->
+      if not (List.mem (u, v) redundant) then Graph.add_edge reduced u v)
+    g;
+  reduced
+
+let is_reduced g = redundant_edges g = []

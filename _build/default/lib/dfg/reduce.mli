@@ -1,0 +1,16 @@
+(** Transitive reduction of a DAG.
+
+    The threaded scheduling state keeps cross-thread edges tight; the
+    reduction is the yardstick: a state with no transitively-redundant
+    edges is maximally soft for its partial order. Also a generally
+    useful cleanup for front-end graphs. *)
+
+val transitive_reduction : Graph.t -> Graph.t
+(** The unique minimal subgraph of a DAG with the same reachability
+    (same vertices, vertex ids preserved). @raise Invalid_argument on a
+    cyclic input. *)
+
+val redundant_edges : Graph.t -> (Graph.vertex * Graph.vertex) list
+(** Edges removed by {!transitive_reduction}. *)
+
+val is_reduced : Graph.t -> bool

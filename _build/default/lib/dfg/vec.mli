@@ -1,0 +1,30 @@
+(** Growable array, the backing store for graph structures.
+
+    A thin, predictable alternative to [Buffer] for arbitrary element
+    types: amortised O(1) [push], O(1) random access, in-place update.
+    Indices are dense: [0 .. length v - 1]. *)
+
+type 'a t
+
+val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+(** [create ~dummy ()] makes an empty vector. [dummy] fills unused
+    capacity and is never observable through the API. *)
+
+val length : 'a t -> int
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+val push : 'a t -> 'a -> int
+(** [push v x] appends [x] and returns its index. *)
+
+val pop : 'a t -> 'a
+(** Removes and returns the last element. @raise Invalid_argument if empty. *)
+
+val clear : 'a t -> unit
+val iter : ('a -> unit) -> 'a t -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val to_list : 'a t -> 'a list
+val of_list : dummy:'a -> 'a list -> 'a t
+val copy : 'a t -> 'a t
+val exists : ('a -> bool) -> 'a t -> bool
+val for_all : ('a -> bool) -> 'a t -> bool

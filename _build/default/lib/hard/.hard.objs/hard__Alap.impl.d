@@ -1,0 +1,1 @@
+lib/hard/alap.ml: Import Paths Schedule

@@ -1,0 +1,1 @@
+lib/hard/alap.mli: Graph Import Schedule

@@ -1,0 +1,1 @@
+lib/hard/asap.ml: Import Paths Schedule

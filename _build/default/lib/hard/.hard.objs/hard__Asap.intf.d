@@ -1,0 +1,1 @@
+lib/hard/asap.mli: Graph Import Schedule

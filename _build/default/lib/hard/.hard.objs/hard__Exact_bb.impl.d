@@ -1,0 +1,1 @@
+lib/hard/exact_bb.ml: Array Graph Import List List_sched Paths Resources Schedule

@@ -1,0 +1,1 @@
+lib/hard/exact_bb.mli: Graph Import Resources Schedule

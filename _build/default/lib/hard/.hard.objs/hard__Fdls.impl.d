@@ -1,0 +1,1 @@
+lib/hard/fdls.ml: Array Force_directed Graph Hashtbl Import List Option Paths Printf Resources Schedule

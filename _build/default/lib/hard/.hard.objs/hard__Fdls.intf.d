@@ -1,0 +1,1 @@
+lib/hard/fdls.mli: Graph Import Resources Schedule

@@ -1,0 +1,1 @@
+lib/hard/force_directed.ml: Array Graph Import List Paths Printf Resources Schedule Topo

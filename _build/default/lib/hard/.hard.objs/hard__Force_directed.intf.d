@@ -1,0 +1,1 @@
+lib/hard/force_directed.mli: Graph Import Resources Schedule

@@ -1,0 +1,1 @@
+lib/hard/import.ml: Dfg

@@ -1,0 +1,1 @@
+lib/hard/list_sched.ml: Array Graph Hashtbl Import List Paths Printf Resources Schedule

@@ -1,0 +1,1 @@
+lib/hard/list_sched.mli: Graph Import Resources Schedule

@@ -1,0 +1,1 @@
+lib/hard/pipeline.ml: Array Graph Import List Op Resources Schedule

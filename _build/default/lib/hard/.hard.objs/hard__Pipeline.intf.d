@@ -1,0 +1,1 @@
+lib/hard/pipeline.mli: Graph Import Resources Schedule

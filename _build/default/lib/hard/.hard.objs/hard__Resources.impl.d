@@ -1,0 +1,1 @@
+lib/hard/resources.ml: Import List Op Printf String

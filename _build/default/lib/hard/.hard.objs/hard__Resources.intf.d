@@ -1,0 +1,1 @@
+lib/hard/resources.mli: Import Op

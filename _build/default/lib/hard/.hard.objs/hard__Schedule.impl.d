@@ -1,0 +1,1 @@
+lib/hard/schedule.ml: Array Buffer Format Graph Import List Op Printf Resources

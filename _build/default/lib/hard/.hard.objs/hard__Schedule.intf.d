@@ -1,0 +1,1 @@
+lib/hard/schedule.mli: Format Graph Import Resources

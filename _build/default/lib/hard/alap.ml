@@ -1,0 +1,7 @@
+open Import
+
+let run ?deadline g =
+  let deadline =
+    match deadline with Some d -> d | None -> Paths.diameter g
+  in
+  Schedule.make g ~starts:(Paths.alap_starts g ~deadline)

@@ -1,0 +1,7 @@
+open Import
+
+(** As-late-as-possible scheduling (unlimited resources). *)
+
+val run : ?deadline:int -> Graph.t -> Schedule.t
+(** [deadline] defaults to the graph diameter (tightest feasible).
+    @raise Invalid_argument if [deadline] is below the diameter. *)

@@ -1,0 +1,3 @@
+open Import
+
+let run g = Schedule.make g ~starts:(Paths.asap_starts g)

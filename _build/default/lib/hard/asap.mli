@@ -1,0 +1,7 @@
+open Import
+
+(** As-soon-as-possible scheduling (unlimited resources). *)
+
+val run : Graph.t -> Schedule.t
+(** Each vertex starts the moment its last predecessor finishes; the
+    schedule length equals the graph diameter. *)

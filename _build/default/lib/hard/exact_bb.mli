@@ -1,0 +1,22 @@
+open Import
+
+(** Exact resource-constrained scheduling by branch and bound.
+
+    Section 1 contrasts soft scheduling with "global optimization
+    approaches … the problem size which these methods can tackle is
+    limited"; this module is that expensive comparator, used to audit
+    how far the heuristic and threaded schedulers sit from optimal on
+    small graphs. The search branches, cycle by cycle, on every subset
+    of ready operations that fits the free units, with critical-path and
+    work-per-unit lower bounds for pruning. *)
+
+type result = {
+  schedule : Schedule.t;
+  optimal : bool;  (** false when the node budget was exhausted *)
+  nodes_explored : int;
+}
+
+val run : ?node_limit:int -> resources:Resources.t -> Graph.t -> result
+(** [node_limit] defaults to 2_000_000 search nodes; on exhaustion the
+    best incumbent (never worse than list scheduling, which seeds the
+    search) is returned with [optimal = false]. *)

@@ -1,0 +1,122 @@
+open Import
+
+exception Infeasible
+
+(* One attempt at a fixed deadline. Returns starts or raises
+   Infeasible when some operation misses its latest start. *)
+let attempt ~resources ~deadline g =
+  let n = Graph.n_vertices g in
+  let pinned = Array.make n None in
+  let all_classes = [ Resources.Alu; Resources.Multiplier; Resources.Memory ] in
+  let consumes_unit v =
+    Graph.delay g v > 0 && Resources.class_of_op (Graph.op g v) <> None
+  in
+  let finish v =
+    match pinned.(v) with
+    | Some s -> s + Graph.delay g v
+    | None -> max_int
+  in
+  (* busy units per class per cycle, maintained incrementally *)
+  let busy = Hashtbl.create 7 in
+  let busy_at cls cycle =
+    Option.value ~default:0 (Hashtbl.find_opt busy (cls, cycle))
+  in
+  let occupy cls ~from ~until =
+    for c = from to until - 1 do
+      Hashtbl.replace busy (cls, c) (busy_at cls c + 1)
+    done
+  in
+  let n_pinned = ref 0 in
+  for cycle = 0 to deadline do
+    if !n_pinned < n then begin
+      let asap, _ = Force_directed.Internal.frames g ~deadline ~pinned in
+      (* place zero-cost ops the moment they are ready *)
+      Graph.iter_vertices
+        (fun v ->
+          if
+            pinned.(v) = None
+            && (not (consumes_unit v))
+            && asap.(v) <= cycle
+            && List.for_all (fun p -> finish p <= cycle) (Graph.preds g v)
+          then begin
+            pinned.(v) <- Some cycle;
+            incr n_pinned
+          end)
+        g;
+      (* refresh frames after the zero-cost placements *)
+      let asap, alap = Force_directed.Internal.frames g ~deadline ~pinned in
+      let dgs =
+        List.map
+          (fun cls ->
+            (cls, Force_directed.Internal.distribution g ~deadline ~asap ~alap cls))
+          all_classes
+      in
+      List.iter
+        (fun (cls, available) ->
+          let ready =
+            List.filter
+              (fun v ->
+                pinned.(v) = None
+                && consumes_unit v
+                && Resources.can_execute cls (Graph.op g v)
+                && asap.(v) <= cycle
+                && List.for_all (fun p -> finish p <= cycle) (Graph.preds g v))
+              (Graph.vertices g)
+          in
+          let free = ref (available - busy_at cls cycle) in
+          (* forced ops first: missing their latest start is fatal *)
+          let forced, optional =
+            List.partition (fun v -> alap.(v) <= cycle) ready
+          in
+          if List.length forced > !free then raise Infeasible;
+          let place v =
+            pinned.(v) <- Some cycle;
+            incr n_pinned;
+            occupy cls ~from:cycle ~until:(cycle + Graph.delay g v);
+            decr free
+          in
+          List.iter place forced;
+          (* fill the remaining units by ascending force *)
+          let by_force =
+            List.sort
+              (fun a b ->
+                compare
+                  ( Force_directed.Internal.self_force g ~dgs ~asap ~alap a
+                      cycle,
+                    a )
+                  ( Force_directed.Internal.self_force g ~dgs ~asap ~alap b
+                      cycle,
+                    b ))
+              optional
+          in
+          List.iter (fun v -> if !free > 0 then place v) by_force)
+        (Resources.classes resources)
+    end
+  done;
+  if !n_pinned < n then raise Infeasible;
+  Array.map (function Some s -> s | None -> 0) pinned
+
+let run ~resources g =
+  Graph.iter_vertices
+    (fun v ->
+      match Resources.class_of_op (Graph.op g v) with
+      | Some cls when Resources.count resources cls = 0 && Graph.delay g v > 0
+        ->
+        invalid_arg
+          (Printf.sprintf "Fdls: %s needs a %s but none is configured"
+             (Graph.name g v)
+             (Resources.class_name cls))
+      | Some _ | None -> ())
+    g;
+  let lower = Paths.diameter g in
+  (* generous upper bound: serialise everything *)
+  let upper = Graph.total_delay g + 1 in
+  let rec search deadline =
+    if deadline > upper then
+      failwith "Fdls.run: no feasible deadline found (bug)"
+    else
+      match attempt ~resources ~deadline g with
+      | starts -> Schedule.make g ~starts
+      | exception Infeasible -> search (deadline + 1)
+  in
+  search lower

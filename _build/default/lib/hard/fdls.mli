@@ -1,0 +1,14 @@
+open Import
+
+(** Force-directed list scheduling (Paulin & Knight's resource-
+    constrained variant): list scheduling where, at each control step,
+    the free units are filled with the {e lowest-force} ready
+    operations — balancing future demand instead of chasing the
+    critical path. Completes the baseline family next to plain list
+    scheduling and timing-constrained FDS. *)
+
+val run : resources:Resources.t -> Graph.t -> Schedule.t
+(** Searches deadlines upward from the critical path until the force-
+    guided fill succeeds; the result is precedence- and resource-valid
+    (checked by the test suite). @raise Invalid_argument if some
+    operation's class has no units. *)

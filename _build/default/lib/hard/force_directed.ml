@@ -1,0 +1,157 @@
+open Import
+
+(* Time frames: earliest/latest start of each op given the pins made so
+   far. Recomputed from scratch after each assignment (O(V+E)). *)
+let frames g ~deadline ~pinned =
+  let n = Graph.n_vertices g in
+  let order = Topo.sort g in
+  let asap = Array.make n 0 in
+  List.iter
+    (fun v ->
+      let lower =
+        List.fold_left
+          (fun acc p -> max acc (asap.(p) + Graph.delay g p))
+          0 (Graph.preds g v)
+      in
+      asap.(v) <-
+        (match pinned.(v) with
+        | Some s ->
+          if s < lower then
+            failwith "Force_directed: pin violates precedence";
+          s
+        | None -> lower))
+    order;
+  let alap = Array.make n 0 in
+  List.iter
+    (fun v ->
+      let upper =
+        List.fold_left
+          (fun acc s -> min acc (alap.(s) - Graph.delay g v))
+          (deadline - Graph.delay g v)
+          (Graph.succs g v)
+      in
+      alap.(v) <- (match pinned.(v) with Some s -> s | None -> upper))
+    (List.rev order);
+  (asap, alap)
+
+(* Probability that op v (window [lo,hi], delay d) occupies cycle t:
+   #{ s in [lo,hi] | s <= t < s+d } / (hi-lo+1). *)
+let occupancy ~lo ~hi ~d t =
+  if d = 0 then 0.0
+  else begin
+    let s_min = max lo (t - d + 1) and s_max = min hi t in
+    if s_max < s_min then 0.0
+    else float_of_int (s_max - s_min + 1) /. float_of_int (hi - lo + 1)
+  end
+
+let distribution g ~deadline ~asap ~alap cls =
+  let dg = Array.make (max deadline 1) 0.0 in
+  Graph.iter_vertices
+    (fun v ->
+      if Resources.can_execute cls (Graph.op g v) && Graph.delay g v > 0 then
+        for t = asap.(v) to alap.(v) + Graph.delay g v - 1 do
+          if t < deadline then
+            dg.(t) <-
+              dg.(t)
+              +. occupancy ~lo:asap.(v) ~hi:alap.(v) ~d:(Graph.delay g v) t
+        done)
+    g;
+  dg
+
+(* Self force of pinning v at s: sum over occupied cycles of
+   DG(t) * (new_prob(t) - old_prob(t)). *)
+let self_force g ~dgs ~asap ~alap v s =
+  let d = Graph.delay g v in
+  if d = 0 then 0.0
+  else
+    match Resources.class_of_op (Graph.op g v) with
+    | None -> 0.0
+    | Some cls ->
+      let dg : float array = List.assoc cls dgs in
+      let lo = asap.(v) and hi = alap.(v) in
+      let force = ref 0.0 in
+      for t = lo to hi + d - 1 do
+        if t < Array.length dg then begin
+          let old_p = occupancy ~lo ~hi ~d t in
+          let new_p = occupancy ~lo:s ~hi:s ~d t in
+          force := !force +. (dg.(t) *. (new_p -. old_p))
+        end
+      done;
+      !force
+
+let run ~deadline g =
+  let diameter = Paths.diameter g in
+  if deadline < diameter then
+    invalid_arg
+      (Printf.sprintf "Force_directed.run: deadline %d < diameter %d" deadline
+         diameter);
+  let n = Graph.n_vertices g in
+  let pinned = Array.make n None in
+  let all_classes = [ Resources.Alu; Resources.Multiplier; Resources.Memory ] in
+  for _iteration = 1 to n do
+    let asap, alap = frames g ~deadline ~pinned in
+    let dgs =
+      List.map
+        (fun cls -> (cls, distribution g ~deadline ~asap ~alap cls))
+        all_classes
+    in
+    (* Pick the unpinned op/step pair with minimal combined force.
+       Neighbourhood forces: pinning v at s tightens direct preds to
+       [.., s - d_p] and succs to [s + d_v, ..]; we account for their
+       self-force change under the tightened window mean. *)
+    let best = ref None in
+    Graph.iter_vertices
+      (fun v ->
+        if pinned.(v) = None then
+          for s = asap.(v) to alap.(v) do
+            let force = ref (self_force g ~dgs ~asap ~alap v s) in
+            List.iter
+              (fun p ->
+                if pinned.(p) = None then begin
+                  let new_hi = min alap.(p) (s - Graph.delay g p) in
+                  if new_hi < alap.(p) then begin
+                    (* Mean start shift of p approximates its force. *)
+                    let mid_old = float_of_int (asap.(p) + alap.(p)) /. 2.0 in
+                    let mid_new = float_of_int (asap.(p) + new_hi) /. 2.0 in
+                    force := !force +. 0.1 *. (mid_old -. mid_new)
+                  end
+                end)
+              (Graph.preds g v);
+            List.iter
+              (fun q ->
+                if pinned.(q) = None then begin
+                  let new_lo = max asap.(q) (s + Graph.delay g v) in
+                  if new_lo > asap.(q) then begin
+                    let mid_old = float_of_int (asap.(q) + alap.(q)) /. 2.0 in
+                    let mid_new = float_of_int (new_lo + alap.(q)) /. 2.0 in
+                    force := !force +. 0.1 *. (mid_new -. mid_old)
+                  end
+                end)
+              (Graph.succs g v);
+            match !best with
+            | Some (bf, _, _) when bf <= !force -> ()
+            | _ -> best := Some (!force, v, s)
+          done)
+      g;
+    match !best with
+    | None -> () (* all pinned *)
+    | Some (_, v, s) -> pinned.(v) <- Some s
+  done;
+  let starts =
+    Array.map (function Some s -> s | None -> 0) pinned
+  in
+  Schedule.make g ~starts
+
+module Internal = struct
+  let frames = frames
+  let occupancy ~lo ~hi ~d t = occupancy ~lo ~hi ~d t
+  let distribution = distribution
+  let self_force g ~dgs ~asap ~alap v s = self_force g ~dgs ~asap ~alap v s
+end
+
+let min_units schedule =
+  List.filter_map
+    (fun cls ->
+      let peak = Schedule.peak_usage schedule cls in
+      if peak > 0 then Some (cls, peak) else None)
+    [ Resources.Alu; Resources.Multiplier; Resources.Memory ]

@@ -1,0 +1,40 @@
+open Import
+
+(** Force-directed scheduling (Paulin & Knight 1989) — the
+    timing-constrained baseline cited in Section 2.
+
+    Given a deadline, FDS assigns one operation per iteration to the
+    start step that minimises its "force", i.e. that best balances the
+    expected per-cycle demand (the distribution graphs) of each unit
+    class. Minimising concurrency minimises the number of units needed,
+    the classic area-oriented objective. *)
+
+val run : deadline:int -> Graph.t -> Schedule.t
+(** @raise Invalid_argument if [deadline] is below the graph diameter.
+    The result always meets the deadline and all precedences. *)
+
+val min_units : Schedule.t -> (Resources.fu_class * int) list
+(** Peak per-class concurrency of a schedule = the cheapest resource
+    configuration that can execute it. *)
+
+(** Shared machinery for the force family (used by {!Fdls}). *)
+module Internal : sig
+  val frames :
+    Graph.t -> deadline:int -> pinned:int option array -> int array * int array
+  (** (asap, alap) start windows given the pinned operations.
+      @raise Failure if a pin violates a precedence. *)
+
+  val occupancy : lo:int -> hi:int -> d:int -> int -> float
+  (** Probability an op with window [lo..hi] and delay [d] occupies the
+      given cycle. *)
+
+  val distribution :
+    Graph.t -> deadline:int -> asap:int array -> alap:int array ->
+    Resources.fu_class -> float array
+  (** The class's distribution graph: expected occupancy per cycle. *)
+
+  val self_force :
+    Graph.t -> dgs:(Resources.fu_class * float array) list ->
+    asap:int array -> alap:int array -> Graph.vertex -> int -> float
+  (** Force of pinning the vertex at the given start. *)
+end

@@ -1,0 +1,11 @@
+(* Short aliases for the dfg substrate, opened by every module here. *)
+module Graph = Dfg.Graph
+module Op = Dfg.Op
+module Paths = Dfg.Paths
+module Topo = Dfg.Topo
+module Reach = Dfg.Reach
+module Delay = Dfg.Delay
+module Mutate = Dfg.Mutate
+module Eval = Dfg.Eval
+module Generate = Dfg.Generate
+module Dot = Dfg.Dot

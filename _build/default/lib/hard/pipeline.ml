@@ -1,0 +1,67 @@
+open Import
+
+type t = {
+  original : Graph.t;
+  split : Graph.t;
+  issue_of : Graph.vertex array;
+  result_of : Graph.vertex array;
+}
+
+let default_pipelined cls = Resources.equal_class cls Resources.Multiplier
+
+let split ?(pipelined = default_pipelined) ?(interval = 1) g =
+  if interval < 1 then invalid_arg "Pipeline.split: interval must be >= 1";
+  let n = Graph.n_vertices g in
+  let split_graph = Graph.create () in
+  let issue_of = Array.make n (-1) in
+  let result_of = Array.make n (-1) in
+  Graph.iter_vertices
+    (fun v ->
+      let op = Graph.op g v in
+      let delay = Graph.delay g v in
+      let wants_split =
+        delay > interval
+        &&
+        match Resources.class_of_op op with
+        | Some cls -> pipelined cls
+        | None -> false
+      in
+      if wants_split then begin
+        let issue =
+          Graph.add_vertex split_graph ~delay:interval
+            ~name:(Graph.name g v) op
+        in
+        let drain =
+          Graph.add_vertex split_graph ~delay:(delay - interval)
+            ~name:(Graph.name g v ^ "_pipe")
+            Op.Wire
+        in
+        Graph.add_edge split_graph issue drain;
+        issue_of.(v) <- issue;
+        result_of.(v) <- drain
+      end
+      else begin
+        let id =
+          Graph.add_vertex split_graph ~delay ~name:(Graph.name g v) op
+        in
+        issue_of.(v) <- id;
+        result_of.(v) <- id
+      end)
+    g;
+  (* consumers read the producer's *result* vertex; walk per consumer
+     so operand order survives for non-commutative ops *)
+  Graph.iter_vertices
+    (fun v ->
+      List.iter
+        (fun p -> Graph.add_edge split_graph result_of.(p) issue_of.(v))
+        (Graph.preds g v))
+    g;
+  { original = g; split = split_graph; issue_of; result_of }
+
+let recover_starts t schedule =
+  ignore t.original;
+  Array.map (fun issue -> Schedule.start schedule issue) t.issue_of
+
+let csteps ~scheduler g =
+  let t = split g in
+  Schedule.length (scheduler t.split)

@@ -1,0 +1,69 @@
+open Import
+
+type fu_class = Alu | Multiplier | Memory
+
+type t = { alu : int; multiplier : int; memory : int }
+
+let make counts =
+  let seen = ref [] in
+  let acc = ref { alu = 0; multiplier = 0; memory = 0 } in
+  List.iter
+    (fun (cls, n) ->
+      if n <= 0 then invalid_arg "Resources.make: non-positive count";
+      if List.mem cls !seen then invalid_arg "Resources.make: duplicate class";
+      seen := cls :: !seen;
+      acc :=
+        (match cls with
+        | Alu -> { !acc with alu = n }
+        | Multiplier -> { !acc with multiplier = n }
+        | Memory -> { !acc with memory = n }))
+    counts;
+  !acc
+
+let count t = function
+  | Alu -> t.alu
+  | Multiplier -> t.multiplier
+  | Memory -> t.memory
+
+let classes t =
+  List.filter
+    (fun (_, n) -> n > 0)
+    [ (Alu, t.alu); (Multiplier, t.multiplier); (Memory, t.memory) ]
+
+let total_units t = t.alu + t.multiplier + t.memory
+
+let class_of_op : Op.t -> fu_class option = function
+  | Op.Add | Op.Sub | Op.Neg | Op.Lt | Op.Gt | Op.Eq | Op.And | Op.Or
+  | Op.Xor | Op.Shl | Op.Shr | Op.Select | Op.Mov ->
+    Some Alu
+  | Op.Mul | Op.Div | Op.Mac | Op.Msu -> Some Multiplier
+  | Op.Load | Op.Store -> Some Memory
+  | Op.Wire | Op.Const _ | Op.Input _ | Op.Output _ -> None
+
+let equal_class (a : fu_class) b = a = b
+
+let can_execute cls op =
+  match class_of_op op with
+  | Some c -> equal_class c cls
+  | None -> false
+
+let class_name = function
+  | Alu -> "alu"
+  | Multiplier -> "mul"
+  | Memory -> "mem"
+
+let to_string t =
+  String.concat ", "
+    (List.map
+       (fun (cls, n) -> Printf.sprintf "%d %s" n (class_name cls))
+       (classes t))
+
+let fig3_2alu_2mul = make [ (Alu, 2); (Multiplier, 2); (Memory, 1) ]
+let fig3_4alu_4mul = make [ (Alu, 4); (Multiplier, 4); (Memory, 1) ]
+let fig3_2alu_1mul = make [ (Alu, 2); (Multiplier, 1); (Memory, 1) ]
+
+let fig3_all =
+  [ ("2+/-,2*", fig3_2alu_2mul);
+    ("4+/-,4*", fig3_4alu_4mul);
+    ("2+/,1*", fig3_2alu_1mul)
+  ]

@@ -1,0 +1,106 @@
+open Import
+
+type t = { graph : Graph.t; starts : int array }
+
+let make graph ~starts =
+  if Array.length starts <> Graph.n_vertices graph then
+    invalid_arg "Schedule.make: starts array size mismatch";
+  Array.iteri
+    (fun v s ->
+      if s < 0 then
+        invalid_arg
+          (Printf.sprintf "Schedule.make: negative start %d for vertex %d" s v))
+    starts;
+  { graph; starts = Array.copy starts }
+
+let graph t = t.graph
+let start t v = t.starts.(v)
+let finish t v = t.starts.(v) + Graph.delay t.graph v
+let starts t = Array.copy t.starts
+
+let length t =
+  Graph.fold_vertices (fun acc v -> max acc (finish t v)) 0 t.graph
+
+let usage t cls =
+  let cycles = Array.make (max (length t) 1) 0 in
+  Graph.iter_vertices
+    (fun v ->
+      match Resources.class_of_op (Graph.op t.graph v) with
+      | Some c when Resources.equal_class c cls ->
+        for cycle = start t v to finish t v - 1 do
+          cycles.(cycle) <- cycles.(cycle) + 1
+        done
+      | Some _ | None -> ())
+    t.graph;
+  cycles
+
+let peak_usage t cls = Array.fold_left max 0 (usage t cls)
+
+let check ?resources t =
+  let violation = ref None in
+  let record msg = if !violation = None then violation := Some msg in
+  Graph.iter_edges
+    (fun u v ->
+      if finish t u > start t v then
+        record
+          (Printf.sprintf "precedence violated: %s finishes at %d, %s starts at %d"
+             (Graph.name t.graph u) (finish t u) (Graph.name t.graph v)
+             (start t v)))
+    t.graph;
+  (match resources with
+  | None -> ()
+  | Some r ->
+    List.iter
+      (fun (cls, available) ->
+        let per_cycle = usage t cls in
+        Array.iteri
+          (fun cycle used ->
+            if used > available then
+              record
+                (Printf.sprintf "resource overflow: %d %s busy at cycle %d, %d available"
+                   used (Resources.class_name cls) cycle available))
+          per_cycle)
+      (Resources.classes r);
+    (* Ops requiring a class with zero units are unschedulable. *)
+    Graph.iter_vertices
+      (fun v ->
+        match Resources.class_of_op (Graph.op t.graph v) with
+        | Some cls when Resources.count r cls = 0 ->
+          record
+            (Printf.sprintf "operation %s needs a %s but none is configured"
+               (Graph.name t.graph v) (Resources.class_name cls))
+        | Some _ | None -> ())
+      t.graph);
+  match !violation with None -> Ok () | Some msg -> Error msg
+
+let equal a b =
+  Array.length a.starts = Array.length b.starts && a.starts = b.starts
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>schedule: %d steps" (length t);
+  let by_start =
+    List.sort
+      (fun a b -> compare (start t a, a) (start t b, b))
+      (Graph.vertices t.graph)
+  in
+  List.iter
+    (fun v ->
+      Format.fprintf fmt "@,  [%2d..%2d) %s %a" (start t v) (finish t v)
+        (Graph.name t.graph v) Op.pp
+        (Graph.op t.graph v))
+    by_start;
+  Format.fprintf fmt "@]"
+
+let gantt t =
+  let total = length t in
+  let buf = Buffer.create 256 in
+  Graph.iter_vertices
+    (fun v ->
+      Buffer.add_string buf (Printf.sprintf "%-10s |" (Graph.name t.graph v));
+      for cycle = 0 to total - 1 do
+        let occupied = cycle >= start t v && cycle < finish t v in
+        Buffer.add_char buf (if occupied then '#' else '.')
+      done;
+      Buffer.add_char buf '\n')
+    t.graph;
+  Buffer.contents buf

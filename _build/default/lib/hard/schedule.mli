@@ -1,0 +1,44 @@
+open Import
+
+(** Hard schedules: the traditional total mapping of operations to
+    control steps, plus validity checking and reporting.
+
+    Times are in cycles, starting at 0. A vertex with delay [d] started
+    at [s] occupies its functional unit during cycles [s .. s+d-1]
+    (units are not pipelined, matching the paper's benchmarks where a
+    2-cycle multiply blocks its multiplier for both cycles). Zero-delay
+    pseudo-ops occupy nothing. *)
+
+type t
+
+val make : Graph.t -> starts:int array -> t
+(** @raise Invalid_argument on size mismatch or a negative start. *)
+
+val graph : t -> Graph.t
+val start : t -> Graph.vertex -> int
+val finish : t -> Graph.vertex -> int
+val starts : t -> int array
+(** A copy. *)
+
+val length : t -> int
+(** Number of control steps = the latest finish time. This is the
+    quantity reported in Figure 3. *)
+
+val check : ?resources:Resources.t -> t -> (unit, string) result
+(** Precedence feasibility (every edge's producer finishes no later than
+    its consumer starts) and, when [resources] is given, per-cycle
+    class occupancy within the unit counts. The error string pinpoints
+    the first violation. *)
+
+val usage : t -> Resources.fu_class -> int array
+(** [usage s cls] has one entry per cycle: how many [cls] units are busy. *)
+
+val peak_usage : t -> Resources.fu_class -> int
+
+val equal : t -> t -> bool
+(** Same graph size and identical start times. *)
+
+val pp : Format.formatter -> t -> unit
+
+val gantt : t -> string
+(** ASCII chart: one row per vertex, '#' in occupied cycles. *)

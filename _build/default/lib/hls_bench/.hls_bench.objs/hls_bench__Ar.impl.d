@@ -1,0 +1,1 @@
+lib/hls_bench/ar.ml: Array Graph Import Op Printf

@@ -1,0 +1,1 @@
+lib/hls_bench/dct.ml: Array Graph Import List Op Printf

@@ -1,0 +1,1 @@
+lib/hls_bench/dct.mli: Graph Import

@@ -1,0 +1,1 @@
+lib/hls_bench/ewf.ml: Array Graph Import Op Printf

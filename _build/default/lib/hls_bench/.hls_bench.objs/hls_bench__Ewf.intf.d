@@ -1,0 +1,1 @@
+lib/hls_bench/ewf.mli: Graph Import

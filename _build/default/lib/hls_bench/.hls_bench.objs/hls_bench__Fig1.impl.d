@@ -1,0 +1,1 @@
+lib/hls_bench/fig1.ml: Array Graph Hard Import List Op Printf

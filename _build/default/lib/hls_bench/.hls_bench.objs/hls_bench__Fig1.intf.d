@@ -1,0 +1,1 @@
+lib/hls_bench/fig1.mli: Graph Hard Import

@@ -1,0 +1,1 @@
+lib/hls_bench/hal.ml: Graph Import Op

@@ -1,0 +1,1 @@
+lib/hls_bench/hal.mli: Graph Import

@@ -1,0 +1,1 @@
+lib/hls_bench/iir.ml: Graph Import Op Printf

@@ -1,0 +1,1 @@
+lib/hls_bench/matmul.ml: Array Graph Import List Op Printf

@@ -1,0 +1,1 @@
+lib/hls_bench/matmul.mli: Graph Import

@@ -1,0 +1,1 @@
+lib/hls_bench/suite.ml: Ar Dct Ewf Fir Graph Hal Iir Import List Matmul Op String

@@ -1,0 +1,1 @@
+lib/hls_bench/suite.mli: Graph Import

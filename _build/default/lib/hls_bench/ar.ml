@@ -1,0 +1,44 @@
+open Import
+
+let graph () =
+  let g = Graph.create () in
+  let input name = Graph.add_vertex g ~name (Op.Input name) in
+  let binop name op l r =
+    let v = Graph.add_vertex g ~name op in
+    Graph.add_edge g l v;
+    Graph.add_edge g r v;
+    v
+  in
+  let x1 = input "x1" and x2 = input "x2" in
+  let w1 = input "w1" and w2 = input "w2" in
+  let coeff = Array.init 16 (fun i -> input (Printf.sprintf "k%d" i)) in
+  (* butterfly i: (p, q) -> (p*c + q*c', p*c'' + q*c''') *)
+  let butterfly i p q =
+    let c j = coeff.((4 * i) + j) in
+    let m1 = binop (Printf.sprintf "b%dm1" i) Op.Mul p (c 0) in
+    let m2 = binop (Printf.sprintf "b%dm2" i) Op.Mul q (c 1) in
+    let m3 = binop (Printf.sprintf "b%dm3" i) Op.Mul p (c 2) in
+    let m4 = binop (Printf.sprintf "b%dm4" i) Op.Mul q (c 3) in
+    let o1 = binop (Printf.sprintf "b%da1" i) Op.Add m1 m2 in
+    let o2 = binop (Printf.sprintf "b%da2" i) Op.Add m3 m4 in
+    (o1, o2)
+  in
+  let p0 = binop "in1" Op.Add x1 w1 in
+  let q0 = binop "in2" Op.Add x2 w2 in
+  (* chain A: butterflies 0 then 1; chain B: butterflies 2 then 3 *)
+  let a1, a2 = butterfly 0 p0 q0 in
+  let b1, b2 = butterfly 1 a1 a2 in
+  let c1, c2 = butterfly 2 p0 q0 in
+  let d1, d2 = butterfly 3 c1 c2 in
+  let y1 = binop "out1" Op.Add b1 d1 in
+  let y2 = binop "out2" Op.Add b2 d2 in
+  let output name v =
+    let o = Graph.add_vertex g ~name (Op.Output name) in
+    Graph.add_edge g v o
+  in
+  output "y1" y1;
+  output "y2" y2;
+  g
+
+let n_multiplications = 16
+let n_alu_ops = 12

@@ -1,0 +1,16 @@
+open Import
+
+(** AR — auto-regressive lattice filter ("AR" row of Figure 3).
+
+    The published AR benchmark has 28 operations (16 multiplications,
+    12 additions). Its exact netlist is not in the paper; this is the
+    standard reconstruction: four coefficient butterflies
+    [(p,q) -> (p*c1 + q*c2, p*c3 + q*c4)] arranged as two parallel
+    chains of two, with input accumulations and output combinations —
+    giving exactly 16*/12+ and a multiply-bounded schedule, the regime
+    the Figure 3 row exercises. *)
+
+val graph : unit -> Graph.t
+
+val n_multiplications : int
+val n_alu_ops : int

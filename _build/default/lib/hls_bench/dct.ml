@@ -1,0 +1,59 @@
+open Import
+
+let graph () =
+  let g = Graph.create () in
+  let input name = Graph.add_vertex g ~name (Op.Input name) in
+  let binop name op l r =
+    let v = Graph.add_vertex g ~name op in
+    Graph.add_edge g l v;
+    Graph.add_edge g r v;
+    v
+  in
+  let x = Array.init 8 (fun i -> input (Printf.sprintf "x%d" i)) in
+  let c = Array.init 8 (fun i -> input (Printf.sprintf "c%d" i)) in
+  (* Stage 1: 4 sums and 4 differences across the mirror. *)
+  let s = Array.init 4 (fun i ->
+      binop (Printf.sprintf "s%d" i) Op.Add x.(i) x.(7 - i))
+  in
+  let d = Array.init 4 (fun i ->
+      binop (Printf.sprintf "d%d" i) Op.Sub x.(i) x.(7 - i))
+  in
+  (* Even half: 4-point DCT of s. *)
+  let e0 = binop "e0" Op.Add s.(0) s.(3) in
+  let e1 = binop "e1" Op.Add s.(1) s.(2) in
+  let e2 = binop "e2" Op.Sub s.(0) s.(3) in
+  let e3 = binop "e3" Op.Sub s.(1) s.(2) in
+  let y0 = binop "y0" Op.Add e0 e1 in
+  let y4 = binop "y4" Op.Sub e0 e1 in
+  let r0 = binop "r0" Op.Mul e2 c.(0) in
+  let r1 = binop "r1" Op.Mul e3 c.(1) in
+  let y2 = binop "y2" Op.Add r0 r1 in
+  let r2 = binop "r2" Op.Mul e2 c.(1) in
+  let r3 = binop "r3" Op.Mul e3 c.(0) in
+  let y6 = binop "y6" Op.Sub r2 r3 in
+  (* Odd half: rotations then combination adds. *)
+  let o0 = binop "o0" Op.Mul d.(0) c.(2) in
+  let o1 = binop "o1" Op.Mul d.(1) c.(3) in
+  let o2 = binop "o2" Op.Mul d.(2) c.(4) in
+  let o3 = binop "o3" Op.Mul d.(3) c.(5) in
+  let f0 = binop "f0" Op.Add o0 o1 in
+  let f1 = binop "f1" Op.Add o2 o3 in
+  let f2 = binop "f2" Op.Sub o0 o3 in
+  let f3 = binop "f3" Op.Sub o1 o2 in
+  let y1 = binop "y1" Op.Add f0 f1 in
+  let y5 = binop "y5" Op.Sub f2 f3 in
+  let y3 = binop "y3" Op.Add f0 f3 in
+  let y7 = binop "y7" Op.Sub f1 f2 in
+  let output i v =
+    let port = Printf.sprintf "y%d" i in
+    (* marker vertex names must stay distinct from the op vertices *)
+    let o =
+      Graph.add_vertex g ~name:(Printf.sprintf "out%d" i) (Op.Output port)
+    in
+    Graph.add_edge g v o
+  in
+  List.iteri output [ y0; y1; y2; y3; y4; y5; y6; y7 ];
+  g
+
+let n_multiplications = 8
+let n_alu_ops = 24

@@ -1,0 +1,13 @@
+open Import
+
+(** DCT — 8-point discrete cosine transform (extension benchmark).
+
+    Decimation-in-frequency butterflies: a first add/sub stage, a
+    recursive even half, and a rotated odd half; 8 multiplications and
+    24 ALU operations. Wider and shallower than the filters, it
+    stresses the ALU-bound regime of the resource sweep. *)
+
+val graph : unit -> Graph.t
+
+val n_multiplications : int
+val n_alu_ops : int

@@ -1,0 +1,63 @@
+open Import
+
+let graph () =
+  let g = Graph.create () in
+  let input name = Graph.add_vertex g ~name (Op.Input name) in
+  let binop name op l r =
+    let v = Graph.add_vertex g ~name op in
+    Graph.add_edge g l v;
+    Graph.add_edge g r v;
+    v
+  in
+  let vin = input "in" in
+  let state = Array.init 8 (fun i -> input (Printf.sprintf "s%d" (i + 1))) in
+  let k = Array.init 8 (fun i -> input (Printf.sprintf "k%d" (i + 1))) in
+  (* Spine: 13 additions and 2 multiplications, depth 17. *)
+  let a1 = binop "a1" Op.Add vin state.(0) in
+  let a2 = binop "a2" Op.Add a1 state.(1) in
+  let m1 = binop "m1" Op.Mul a2 k.(0) in
+  let a3 = binop "a3" Op.Add m1 state.(2) in
+  let a4 = binop "a4" Op.Add a3 a1 in
+  let a5 = binop "a5" Op.Add a4 state.(3) in
+  let m2 = binop "m2" Op.Mul a5 k.(1) in
+  let a6 = binop "a6" Op.Add m2 state.(4) in
+  let a7 = binop "a7" Op.Add a6 a4 in
+  let a8 = binop "a8" Op.Add a7 state.(5) in
+  let a9 = binop "a9" Op.Add a8 a6 in
+  let a10 = binop "a10" Op.Add a9 state.(6) in
+  let a11 = binop "a11" Op.Add a10 a8 in
+  let a12 = binop "a12" Op.Add a11 state.(7) in
+  let a13 = binop "a13" Op.Add a12 a9 in
+  ignore a11;
+  (* State updates hanging off the spine: 6 multiplications, 13 adds. *)
+  let t1 = binop "t1" Op.Mul a1 k.(2) in
+  let u1 = binop "u1" Op.Add t1 state.(0) in
+  let t2 = binop "t2" Op.Mul a2 k.(3) in
+  let u2 = binop "u2" Op.Add t2 state.(1) in
+  let t3 = binop "t3" Op.Mul a3 k.(4) in
+  let u3 = binop "u3" Op.Add t3 state.(2) in
+  let t4 = binop "t4" Op.Mul a5 k.(5) in
+  let u4 = binop "u4" Op.Add t4 state.(3) in
+  let t5 = binop "t5" Op.Mul a6 k.(6) in
+  let u5 = binop "u5" Op.Add t5 state.(4) in
+  let t6 = binop "t6" Op.Mul a8 k.(7) in
+  let u6 = binop "u6" Op.Add t6 state.(5) in
+  let u7 = binop "u7" Op.Add a10 state.(6) in
+  let u8 = binop "u8" Op.Add a12 state.(7) in
+  let w1 = binop "w1" Op.Add u1 u2 in
+  let w2 = binop "w2" Op.Add u3 u4 in
+  let w3 = binop "w3" Op.Add u5 u6 in
+  let w4 = binop "w4" Op.Add w1 w2 in
+  let w5 = binop "w5" Op.Add w3 w4 in
+  let output name v =
+    let o = Graph.add_vertex g ~name (Op.Output name) in
+    Graph.add_edge g v o
+  in
+  output "out" a13;
+  output "ns_a" w5;
+  output "ns_b" u7;
+  output "ns_c" u8;
+  g
+
+let n_multiplications = 8
+let n_alu_ops = 26

@@ -1,0 +1,15 @@
+open Import
+
+(** EF — fifth-order elliptic wave filter ("EF" row of Figure 3).
+
+    The classic benchmark has 34 operations (26 additions, 8
+    multiplications) and a 17-cycle critical path under the 2-cycle
+    multiplier model — exactly the paper's ample-resource entry. The
+    published netlist is not reproduced in the paper, so this module
+    reconstructs a wave-digital-filter ladder with the same signature:
+    34 ops, 26+/8*, diameter 17 (asserted by the test suite). *)
+
+val graph : unit -> Graph.t
+
+val n_multiplications : int
+val n_alu_ops : int

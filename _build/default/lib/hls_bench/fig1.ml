@@ -1,0 +1,16 @@
+open Import
+
+let graph () =
+  let g = Graph.create () in
+  let op i = Graph.add_vertex g ~name:(Printf.sprintf "v%d" i) ~delay:1 Op.Add in
+  let v = Array.init 8 (fun i -> if i = 0 then -1 else op i) in
+  List.iter
+    (fun (a, b) -> Graph.add_edge g v.(a) v.(b))
+    [ (1, 2); (2, 5); (3, 4); (4, 6); (5, 7); (6, 7) ];
+  g
+
+let v3 g =
+  List.find (fun v -> Graph.name g v = "v3") (Graph.vertices g)
+
+let resources =
+  Hard.Resources.make [ (Hard.Resources.Alu, 2); (Hard.Resources.Memory, 1) ]

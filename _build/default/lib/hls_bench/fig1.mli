@@ -1,0 +1,22 @@
+open Import
+
+(** The paper's own running example: the seven-operation dataflow graph
+    of Figure 1(a), whose ALAP schedule, spill scenario (c), wire-delay
+    scenario (d) and soft schedule (e) drive the whole argument.
+
+    The figure gives the vertex numbering and enough structure to pin
+    the graph: two interleaved chains (1→2→5→7 and 3→4→6→7) whose soft
+    schedule puts {3,4,6,7} on one unit and {1,2,5} on the other with
+    an artificial edge 2→5, yielding 5 states on two units with unit
+    delays; spilling vertex 3's value costs one extra state (6), and
+    the wire-delay variant stays at 5. *)
+
+val graph : unit -> Graph.t
+(** Fresh instance; vertices are named ["v1"] … ["v7"] in the paper's
+    numbering and carry unit delays. *)
+
+val v3 : Graph.t -> Graph.vertex
+(** The vertex the paper spills (its value feeds vertex 4). *)
+
+val resources : Hard.Resources.t
+(** Two universal units (modelled as 2 ALUs) plus a memory port. *)

@@ -1,0 +1,54 @@
+open Import
+
+let default_taps = 8
+
+let graph ?(taps = default_taps) () =
+  if taps < 2 || taps mod 2 <> 0 then
+    invalid_arg "Fir.graph: taps must be even and at least 2";
+  let g = Graph.create () in
+  let input name = Graph.add_vertex g ~name (Op.Input name) in
+  let binop name op l r =
+    let v = Graph.add_vertex g ~name op in
+    Graph.add_edge g l v;
+    Graph.add_edge g r v;
+    v
+  in
+  let products =
+    List.init taps (fun i ->
+        let x = input (Printf.sprintf "x%d" i) in
+        let c = input (Printf.sprintf "c%d" i) in
+        binop (Printf.sprintf "m%d" i) Op.Mul c x)
+  in
+  (* Pairwise partial sums, then a serial accumulation chain. *)
+  let rec pairs acc = function
+    | a :: b :: rest ->
+      let p = binop (Printf.sprintf "p%d" (List.length acc)) Op.Add a b in
+      pairs (p :: acc) rest
+    | [] -> List.rev acc
+    | [ _ ] -> assert false
+  in
+  let partials = pairs [] products in
+  let sum =
+    match partials with
+    | [] -> assert false
+    | first :: rest ->
+      List.fold_left
+        (fun acc p ->
+          binop (Printf.sprintf "t%d" (Graph.n_vertices g)) Op.Add acc p)
+        first rest
+  in
+  let prev = input "prev" in
+  let y = binop "acc" Op.Add sum prev in
+  let o = Graph.add_vertex g ~name:"y" (Op.Output "y") in
+  Graph.add_edge g y o;
+  g
+
+let n_multiplications = default_taps
+let n_alu_ops = default_taps
+
+let reference ~coeffs ~samples ~prev =
+  if Array.length coeffs <> Array.length samples then
+    invalid_arg "Fir.reference: length mismatch";
+  let sum = ref prev in
+  Array.iteri (fun i c -> sum := !sum + (c * samples.(i))) coeffs;
+  !sum

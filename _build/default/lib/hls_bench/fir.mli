@@ -1,0 +1,20 @@
+open Import
+
+(** FIR — finite-impulse-response filter ("FIR" row of Figure 3).
+
+    [taps] products accumulated pairwise and then chained, plus a final
+    accumulation with the previous output. The default 8-tap instance
+    has 8 multiplications and 8 additions with a 7-cycle critical path,
+    matching the row's ample-resource entry. *)
+
+val graph : ?taps:int -> unit -> Graph.t
+(** @raise Invalid_argument if [taps < 2] or odd. Default [taps = 8]. *)
+
+val default_taps : int
+val n_multiplications : int
+(** For the default instance. *)
+
+val n_alu_ops : int
+
+val reference : coeffs:int array -> samples:int array -> prev:int -> int
+(** Oracle: [prev + sum_i coeffs.(i) * samples.(i)]. *)

@@ -1,0 +1,47 @@
+open Import
+
+let graph () =
+  let g = Graph.create () in
+  let input name = Graph.add_vertex g ~name (Op.Input name) in
+  let x = input "x" in
+  let y = input "y" in
+  let u = input "u" in
+  let dx = input "dx" in
+  let a = input "a" in
+  let three = Graph.add_vertex g ~name:"c3" (Op.Const 3) in
+  let binop name op l r =
+    let v = Graph.add_vertex g ~name op in
+    Graph.add_edge g l v;
+    Graph.add_edge g r v;
+    v
+  in
+  let m1 = binop "m1" Op.Mul three x in   (* 3*x *)
+  let m2 = binop "m2" Op.Mul u dx in      (* u*dx *)
+  let m3 = binop "m3" Op.Mul m1 m2 in     (* 3*x*u*dx *)
+  let m4 = binop "m4" Op.Mul three y in   (* 3*y *)
+  let m5 = binop "m5" Op.Mul m4 dx in     (* 3*y*dx *)
+  let m6 = binop "m6" Op.Mul u dx in      (* u*dx, no CSE in the classic DFG *)
+  let s1 = binop "s1" Op.Sub u m3 in      (* u - 3*x*u*dx *)
+  let s2 = binop "s2" Op.Sub s1 m5 in     (* ul *)
+  let a1 = binop "a1" Op.Add x dx in      (* xl *)
+  let a2 = binop "a2" Op.Add y m6 in      (* yl *)
+  let c1 = binop "c1" Op.Lt a1 a in       (* xl < a *)
+  let output name v =
+    let o = Graph.add_vertex g ~name (Op.Output name) in
+    Graph.add_edge g v o
+  in
+  output "xl" a1;
+  output "ul" s2;
+  output "yl" a2;
+  output "c" c1;
+  g
+
+let reference ~x ~y ~u ~dx ~a =
+  let xl = x + dx in
+  let ul = u - (3 * x * u * dx) - (3 * y * dx) in
+  let yl = y + (u * dx) in
+  let c = if xl < a then 1 else 0 in
+  [ ("xl", xl); ("ul", ul); ("yl", yl); ("c", c) ]
+
+let n_multiplications = 6
+let n_alu_ops = 5

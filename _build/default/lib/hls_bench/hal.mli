@@ -1,0 +1,27 @@
+open Import
+
+(** HAL — the differential-equation solver of Paulin & Knight, the
+    canonical HLS benchmark ("HAL" row of Figure 3).
+
+    One iteration of Euler's method for [y'' + 3xy' + 3y = 0]:
+    {v
+      xl = x + dx
+      ul = u - 3*x*u*dx - 3*y*dx
+      yl = y + u*dx
+      c  = xl < a
+    v}
+    11 operations: 6 multiplications, 2 subtractions, 2 additions, one
+    comparison. With the repository delay model (mul = 2, others = 1)
+    the critical path is 6 — the paper's "4+/-,4*" entry. *)
+
+val graph : unit -> Graph.t
+(** Fresh instance including [Input]/[Const]/[Output] pseudo-vertices so
+    the graph is executable by {!Dfg.Eval}. *)
+
+val reference : x:int -> y:int -> u:int -> dx:int -> a:int ->
+  (string * int) list
+(** Oracle for the four outputs [("xl", _); ("ul", _); ("yl", _);
+    ("c", _)] computed directly in OCaml. *)
+
+val n_multiplications : int
+val n_alu_ops : int

@@ -1,0 +1,36 @@
+open Import
+
+let graph ?(sections = 2) () =
+  if sections < 1 then invalid_arg "Iir.graph: need at least one section";
+  let g = Graph.create () in
+  let input name = Graph.add_vertex g ~name (Op.Input name) in
+  let binop name op l r =
+    let v = Graph.add_vertex g ~name op in
+    Graph.add_edge g l v;
+    Graph.add_edge g r v;
+    v
+  in
+  let x0 = input "x" in
+  let signal = ref x0 in
+  for i = 0 to sections - 1 do
+    let p s = Printf.sprintf "s%d%s" i s in
+    let z1 = input (p "z1") and z2 = input (p "z2") in
+    let a1 = input (p "a1") and a2 = input (p "a2") in
+    let b0 = input (p "b0") and b1 = input (p "b1") and b2 = input (p "b2") in
+    let m1 = binop (p "m1") Op.Mul a1 z1 in
+    let m2 = binop (p "m2") Op.Mul a2 z2 in
+    let s1 = binop (p "s1") Op.Sub !signal m1 in
+    let w = binop (p "w") Op.Sub s1 m2 in
+    let m3 = binop (p "m3") Op.Mul b0 w in
+    let m4 = binop (p "m4") Op.Mul b1 z1 in
+    let m5 = binop (p "m5") Op.Mul b2 z2 in
+    let s2 = binop (p "s2") Op.Add m3 m4 in
+    let y = binop (p "y") Op.Add s2 m5 in
+    signal := y
+  done;
+  let o = Graph.add_vertex g ~name:"y" (Op.Output "y") in
+  Graph.add_edge g !signal o;
+  g
+
+let n_multiplications = 10
+let n_alu_ops = 8

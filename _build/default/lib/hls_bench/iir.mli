@@ -1,0 +1,14 @@
+open Import
+
+(** IIR — cascade of direct-form-II biquad sections (extension
+    benchmark, not in Figure 3; used by the resource-sweep ablation).
+
+    Each section computes
+    [w = x - a1*z1 - a2*z2; y = b0*w + b1*z1 + b2*z2]
+    (5 multiplications, 4 additions/subtractions). *)
+
+val graph : ?sections:int -> unit -> Graph.t
+(** Default 2 sections: 10 multiplications, 8 ALU ops. *)
+
+val n_multiplications : int
+val n_alu_ops : int

@@ -1,0 +1,3 @@
+module Graph = Dfg.Graph
+module Op = Dfg.Op
+module Paths = Dfg.Paths

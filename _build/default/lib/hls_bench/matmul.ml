@@ -1,0 +1,94 @@
+open Import
+
+let matmul ?(n = 3) () =
+  if n < 1 then invalid_arg "Matmul.matmul: n must be positive";
+  let g = Graph.create () in
+  let input name = Graph.add_vertex g ~name (Op.Input name) in
+  let binop name op l r =
+    let v = Graph.add_vertex g ~name op in
+    Graph.add_edge g l v;
+    Graph.add_edge g r v;
+    v
+  in
+  let a =
+    Array.init n (fun i ->
+        Array.init n (fun j -> input (Printf.sprintf "a%d%d" i j)))
+  in
+  let b =
+    Array.init n (fun i ->
+        Array.init n (fun j -> input (Printf.sprintf "b%d%d" i j)))
+  in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let products =
+        List.init n (fun k ->
+            binop (Printf.sprintf "m%d%d_%d" i j k) Op.Mul a.(i).(k) b.(k).(j))
+      in
+      let sum =
+        match products with
+        | [] -> assert false
+        | first :: rest ->
+          List.fold_left
+            (fun acc p ->
+              binop (Printf.sprintf "s%d%d_%d" i j (Graph.n_vertices g))
+                Op.Add acc p)
+            first rest
+      in
+      let o =
+        Graph.add_vertex g
+          ~name:(Printf.sprintf "c%d%d" i j)
+          (Op.Output (Printf.sprintf "c%d%d" i j))
+      in
+      Graph.add_edge g sum o
+    done
+  done;
+  g
+
+let convolution ?(taps = 4) ?(outputs = 4) () =
+  if taps < 1 || outputs < 1 then
+    invalid_arg "Matmul.convolution: parameters must be positive";
+  let g = Graph.create () in
+  let input name = Graph.add_vertex g ~name (Op.Input name) in
+  let binop name op l r =
+    let v = Graph.add_vertex g ~name op in
+    Graph.add_edge g l v;
+    Graph.add_edge g r v;
+    v
+  in
+  let samples =
+    Array.init (taps + outputs - 1) (fun i -> input (Printf.sprintf "x%d" i))
+  in
+  let coeffs = Array.init taps (fun i -> input (Printf.sprintf "k%d" i)) in
+  for j = 0 to outputs - 1 do
+    let products =
+      List.init taps (fun i ->
+          binop (Printf.sprintf "m%d_%d" j i) Op.Mul coeffs.(i)
+            samples.(j + i))
+    in
+    let sum =
+      match products with
+      | [] -> assert false
+      | first :: rest ->
+        List.fold_left
+          (fun acc p ->
+            binop (Printf.sprintf "s%d_%d" j (Graph.n_vertices g)) Op.Add acc
+              p)
+          first rest
+    in
+    let o =
+      Graph.add_vertex g
+        ~name:(Printf.sprintf "y%d" j)
+        (Op.Output (Printf.sprintf "y%d" j))
+    in
+    Graph.add_edge g sum o
+  done;
+  g
+
+let reference_matmul ~n ~a ~b =
+  Array.init n (fun i ->
+      Array.init n (fun j ->
+          let sum = ref 0 in
+          for k = 0 to n - 1 do
+            sum := !sum + (a.(i).(k) * b.(k).(j))
+          done;
+          !sum))

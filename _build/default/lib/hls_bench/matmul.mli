@@ -1,0 +1,18 @@
+open Import
+
+(** Parametric dense kernels — larger, regular workloads for scaling
+    experiments (not part of Figure 3). *)
+
+val matmul : ?n:int -> unit -> Graph.t
+(** [n]×[n] matrix multiply, fully unrolled: [n³] multiplications and
+    [n²(n-1)] additions (adder chains per dot product). Default
+    [n = 3]. @raise Invalid_argument if [n < 1]. *)
+
+val convolution : ?taps:int -> ?outputs:int -> unit -> Graph.t
+(** 1-D convolution window: [outputs] results over a [taps]-coefficient
+    kernel, [taps·outputs] multiplications. Defaults: 4 taps, 4
+    outputs. @raise Invalid_argument on non-positive parameters. *)
+
+val reference_matmul : n:int -> a:int array array -> b:int array array ->
+  int array array
+(** Oracle for {!matmul}. *)

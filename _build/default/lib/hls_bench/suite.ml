@@ -1,0 +1,46 @@
+open Import
+
+type entry = {
+  name : string;
+  build : unit -> Graph.t;
+  n_multiplications : int;
+  n_alu_ops : int;
+}
+
+let fig3 =
+  [
+    { name = "HAL"; build = Hal.graph;
+      n_multiplications = Hal.n_multiplications; n_alu_ops = Hal.n_alu_ops };
+    { name = "AR"; build = Ar.graph;
+      n_multiplications = Ar.n_multiplications; n_alu_ops = Ar.n_alu_ops };
+    { name = "EF"; build = Ewf.graph;
+      n_multiplications = Ewf.n_multiplications; n_alu_ops = Ewf.n_alu_ops };
+    { name = "FIR"; build = (fun () -> Fir.graph ());
+      n_multiplications = Fir.n_multiplications; n_alu_ops = Fir.n_alu_ops };
+  ]
+
+let extensions =
+  [
+    { name = "DCT"; build = Dct.graph;
+      n_multiplications = Dct.n_multiplications; n_alu_ops = Dct.n_alu_ops };
+    { name = "IIR"; build = (fun () -> Iir.graph ());
+      n_multiplications = Iir.n_multiplications; n_alu_ops = Iir.n_alu_ops };
+    { name = "MM3"; build = (fun () -> Matmul.matmul ());
+      n_multiplications = 27; n_alu_ops = 18 };
+    { name = "CONV"; build = (fun () -> Matmul.convolution ());
+      n_multiplications = 16; n_alu_ops = 12 };
+  ]
+
+let all = fig3 @ extensions
+
+let find name =
+  let target = String.lowercase_ascii name in
+  List.find (fun e -> String.lowercase_ascii e.name = target) all
+
+let operation_count g =
+  Graph.fold_vertices
+    (fun acc v ->
+      match Graph.op g v with
+      | Op.Input _ | Op.Const _ | Op.Output _ -> acc
+      | _ -> acc + 1)
+    0 g

@@ -1,0 +1,27 @@
+open Import
+
+(** The benchmark registry used by the CLI, the test suite and the
+    experiment harness. *)
+
+type entry = {
+  name : string;  (** paper row label, e.g. ["HAL"] *)
+  build : unit -> Graph.t;
+  n_multiplications : int;
+  n_alu_ops : int;
+}
+
+val fig3 : entry list
+(** The four Figure 3 rows in paper order: HAL, AR, EF, FIR. *)
+
+val extensions : entry list
+(** DCT, IIR, a 3x3 matrix multiply and a 1-D convolution — extra
+    workloads for the ablation benches. *)
+
+val all : entry list
+
+val find : string -> entry
+(** Case-insensitive lookup. @raise Not_found. *)
+
+val operation_count : Graph.t -> int
+(** Number of real operations (excluding [Input]/[Const]/[Output]
+    pseudo-vertices) — what the paper counts as |V|. *)

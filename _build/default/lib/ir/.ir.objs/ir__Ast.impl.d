@@ -1,0 +1,1 @@
+lib/ir/ast.ml: Dfg Format Hashtbl List Printf String

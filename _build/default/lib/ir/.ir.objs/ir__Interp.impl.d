@@ -1,0 +1,1 @@
+lib/ir/interp.ml: Ast Dfg Hashtbl List Ssa

@@ -1,0 +1,1 @@
+lib/ir/lower.ml: Ast Dfg Hashtbl List Parser Printf Ssa

@@ -1,0 +1,1 @@
+lib/ir/optimize.ml: Ast Dfg Hashtbl List Option Ssa

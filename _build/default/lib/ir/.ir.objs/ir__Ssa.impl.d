@@ -1,0 +1,1 @@
+lib/ir/ssa.ml: Ast Format Hashtbl List Printf

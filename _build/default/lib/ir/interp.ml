@@ -1,0 +1,54 @@
+type env = (string * int) list
+
+let rec eval_expr e env =
+  match e with
+  | Ast.Int n -> n
+  | Ast.Var x -> List.assoc x env
+  | Ast.Neg e -> -eval_expr e env
+  | Ast.Binop (op, a, b) ->
+    Dfg.Op.eval (Ast.op_of_binop op) [ eval_expr a env; eval_expr b env ]
+
+let run (p : Ast.program) env =
+  let rec walk env = function
+    | [] -> env
+    | Ast.Assign (x, e) :: rest ->
+      walk ((x, eval_expr e env) :: List.remove_assoc x env) rest
+    | Ast.If (cond, then_block, else_block) :: rest ->
+      let branch =
+        if eval_expr cond env <> 0 then then_block else else_block
+      in
+      walk (walk env branch) rest
+    | Ast.Repeat (n, body) :: rest ->
+      let env = ref env in
+      for _ = 1 to n do
+        env := walk !env body
+      done;
+      walk !env rest
+  in
+  let final = walk env p.Ast.body in
+  List.map (fun o -> (o, List.assoc o final)) p.Ast.outputs
+
+let run_ssa (p : Ssa.program) env =
+  let values = Hashtbl.create 32 in
+  List.iter (fun (x, v) -> Hashtbl.replace values x v) env;
+  let lookup x =
+    match Hashtbl.find_opt values x with
+    | Some v -> v
+    | None -> raise Not_found
+  in
+  let rec eval = function
+    | Ast.Int n -> n
+    | Ast.Var x -> lookup x
+    | Ast.Neg e -> -eval e
+    | Ast.Binop (op, a, b) ->
+      Dfg.Op.eval (Ast.op_of_binop op) [ eval a; eval b ]
+  in
+  List.iter
+    (fun s ->
+      match s with
+      | Ssa.Def (x, e) -> Hashtbl.replace values x (eval e)
+      | Ssa.Phi { target; cond; if_true; if_false } ->
+        let v = if lookup cond <> 0 then lookup if_true else lookup if_false in
+        Hashtbl.replace values target v)
+    p.Ssa.body;
+  List.map (fun (o, v) -> (o, lookup v)) p.Ssa.outputs

@@ -1,0 +1,13 @@
+(** Reference interpreters — the functional oracle for the whole flow:
+    AST, SSA and lowered DFG must all compute the same outputs. *)
+
+type env = (string * int) list
+
+val run : Ast.program -> env -> (string * int) list
+(** Outputs in declaration order. @raise Not_found for a missing
+    input. Division by zero yields 0 (matching {!Dfg.Op.eval}, so
+    speculative if-conversion is safe). *)
+
+val run_ssa : Ssa.program -> env -> (string * int) list
+
+val eval_expr : Ast.expr -> env -> int

@@ -1,0 +1,153 @@
+type token =
+  | INT of int
+  | IDENT of string
+  | KW_INPUT
+  | KW_OUTPUT
+  | KW_IF
+  | KW_ELSE
+  | KW_REPEAT
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | LT
+  | GT
+  | EQEQ
+  | AMP
+  | PIPE
+  | CARET
+  | SHL
+  | SHR
+  | ASSIGN
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | SEMI
+  | EOF
+
+type located = { token : token; line : int; column : int }
+
+exception Lex_error of string
+
+let token_to_string = function
+  | INT n -> string_of_int n
+  | IDENT s -> s
+  | KW_INPUT -> "input"
+  | KW_OUTPUT -> "output"
+  | KW_IF -> "if"
+  | KW_ELSE -> "else"
+  | KW_REPEAT -> "repeat"
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | LT -> "<"
+  | GT -> ">"
+  | EQEQ -> "=="
+  | AMP -> "&"
+  | PIPE -> "|"
+  | CARET -> "^"
+  | SHL -> "<<"
+  | SHR -> ">>"
+  | ASSIGN -> "="
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | COMMA -> ","
+  | SEMI -> ";"
+  | EOF -> "<eof>"
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident c = is_ident_start c || is_digit c
+
+let keyword = function
+  | "input" -> Some KW_INPUT
+  | "output" -> Some KW_OUTPUT
+  | "if" -> Some KW_IF
+  | "else" -> Some KW_ELSE
+  | "repeat" -> Some KW_REPEAT
+  | _ -> None
+
+let tokenize source =
+  let n = String.length source in
+  let tokens = ref [] in
+  let line = ref 1 and column = ref 1 in
+  let i = ref 0 in
+  let peek offset = if !i + offset < n then Some source.[!i + offset] else None in
+  let advance () =
+    (match source.[!i] with
+    | '\n' ->
+      incr line;
+      column := 1
+    | _ -> incr column);
+    incr i
+  in
+  let emit ?(width = 1) token =
+    tokens := { token; line = !line; column = !column } :: !tokens;
+    for _ = 1 to width do
+      advance ()
+    done
+  in
+  let fail msg =
+    raise (Lex_error (Printf.sprintf "%d:%d: %s" !line !column msg))
+  in
+  while !i < n do
+    let c = source.[!i] in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance ()
+    else if c = '#' || (c = '/' && peek 1 = Some '/') then begin
+      while !i < n && source.[!i] <> '\n' do
+        advance ()
+      done
+    end
+    else if is_digit c then begin
+      let start = !i in
+      let start_line = !line and start_column = !column in
+      while !i < n && is_digit source.[!i] do
+        advance ()
+      done;
+      let text = String.sub source start (!i - start) in
+      tokens :=
+        { token = INT (int_of_string text); line = start_line;
+          column = start_column }
+        :: !tokens
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      let start_line = !line and start_column = !column in
+      while !i < n && is_ident source.[!i] do
+        advance ()
+      done;
+      let text = String.sub source start (!i - start) in
+      let token =
+        match keyword text with Some k -> k | None -> IDENT text
+      in
+      tokens := { token; line = start_line; column = start_column } :: !tokens
+    end
+    else
+      match c, peek 1 with
+      | '=', Some '=' -> emit ~width:2 EQEQ
+      | '<', Some '<' -> emit ~width:2 SHL
+      | '>', Some '>' -> emit ~width:2 SHR
+      | '=', _ -> emit ASSIGN
+      | '+', _ -> emit PLUS
+      | '-', _ -> emit MINUS
+      | '*', _ -> emit STAR
+      | '/', _ -> emit SLASH
+      | '<', _ -> emit LT
+      | '>', _ -> emit GT
+      | '&', _ -> emit AMP
+      | '|', _ -> emit PIPE
+      | '^', _ -> emit CARET
+      | '(', _ -> emit LPAREN
+      | ')', _ -> emit RPAREN
+      | '{', _ -> emit LBRACE
+      | '}', _ -> emit RBRACE
+      | ',', _ -> emit COMMA
+      | ';', _ -> emit SEMI
+      | c, _ -> fail (Printf.sprintf "unexpected character %C" c)
+  done;
+  List.rev ({ token = EOF; line = !line; column = !column } :: !tokens)

@@ -1,0 +1,41 @@
+(** Hand-written lexer for the behavioral language. *)
+
+type token =
+  | INT of int
+  | IDENT of string
+  | KW_INPUT
+  | KW_OUTPUT
+  | KW_IF
+  | KW_ELSE
+  | KW_REPEAT
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | LT
+  | GT
+  | EQEQ
+  | AMP
+  | PIPE
+  | CARET
+  | SHL
+  | SHR
+  | ASSIGN
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | SEMI
+  | EOF
+
+type located = { token : token; line : int; column : int }
+
+exception Lex_error of string
+(** Message includes line:column. *)
+
+val tokenize : string -> located list
+(** Whole-input tokenisation. Comments run from ['#'] or ["//"] to end
+    of line. @raise Lex_error on an unexpected character. *)
+
+val token_to_string : token -> string

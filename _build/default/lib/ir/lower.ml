@@ -1,0 +1,89 @@
+module Graph = Dfg.Graph
+module Op = Dfg.Op
+
+let run (p : Ssa.program) =
+  let g = Graph.create () in
+  let values = Hashtbl.create 32 in (* versioned name -> vertex *)
+  let constants = Hashtbl.create 8 in
+  List.iter
+    (fun x -> Hashtbl.replace values x (Graph.add_vertex g ~name:x (Op.Input x)))
+    p.Ssa.inputs;
+  let constant n =
+    match Hashtbl.find_opt constants n with
+    | Some v -> v
+    | None ->
+      let v = Graph.add_vertex g ~name:(Printf.sprintf "c%d" n) (Op.Const n) in
+      Hashtbl.replace constants n v;
+      v
+  in
+  let lookup x =
+    match Hashtbl.find_opt values x with
+    | Some v -> v
+    | None -> invalid_arg ("Lower.run: undefined name " ^ x)
+  in
+  (* Attach operand edges; duplicate operands are routed through a Mov
+     copy so each dependence is a distinct edge. *)
+  let connect v operands =
+    let _ =
+      List.fold_left
+        (fun seen operand ->
+          let source =
+            if List.mem operand seen then begin
+              let copy =
+                Graph.add_vertex g
+                  ~name:(Graph.name g operand ^ "_cp")
+                  Op.Mov
+              in
+              Graph.add_edge g operand copy;
+              copy
+            end
+            else operand
+          in
+          Graph.add_edge g source v;
+          source :: seen)
+        [] operands
+    in
+    ()
+  in
+  let rec expr ?name e =
+    match e with
+    | Ast.Int n -> constant n
+    | Ast.Var x -> lookup x
+    | Ast.Neg inner ->
+      let operand = expr inner in
+      let v = Graph.add_vertex g ?name Op.Neg in
+      connect v [ operand ];
+      v
+    | Ast.Binop (op, a, b) ->
+      let va = expr a in
+      let vb = expr b in
+      let v = Graph.add_vertex g ?name (Ast.op_of_binop op) in
+      connect v [ va; vb ];
+      v
+  in
+  List.iter
+    (fun s ->
+      match s with
+      | Ssa.Def (x, e) ->
+        let v =
+          match e with
+          | Ast.Var y ->
+            (* Pure renaming: alias, no operation. *)
+            lookup y
+          | Ast.Int n -> constant n
+          | e -> expr ~name:x e
+        in
+        Hashtbl.replace values x v
+      | Ssa.Phi { target; cond; if_true; if_false } ->
+        let v = Graph.add_vertex g ~name:target Op.Select in
+        connect v [ lookup cond; lookup if_true; lookup if_false ];
+        Hashtbl.replace values target v)
+    p.Ssa.body;
+  List.iter
+    (fun (o, x) ->
+      let marker = Graph.add_vertex g ~name:o (Op.Output o) in
+      Graph.add_edge g (lookup x) marker)
+    p.Ssa.outputs;
+  g
+
+let of_source source = run (Ssa.of_ast (Parser.parse source))

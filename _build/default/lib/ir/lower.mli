@@ -1,0 +1,16 @@
+(** Lowering SSA to a dataflow precedence graph.
+
+    Every SSA definition becomes an operation vertex, inputs become
+    [Op.Input] vertices, constants are shared [Op.Const] vertices and
+    outputs get [Op.Output] markers. Phi statements become three-operand
+    [Op.Select] vertices (full if-conversion). When an operation uses
+    the same value for both operands ([x * x]), the second use goes
+    through an [Op.Mov] copy, because precedence graphs carry at most
+    one edge per vertex pair. *)
+
+val run : Ssa.program -> Dfg.Graph.t
+(** The resulting graph is a DAG; {!Dfg.Eval.run} on it agrees with
+    {!Interp.run_ssa} (integration-tested). *)
+
+val of_source : string -> Dfg.Graph.t
+(** Parse, SSA-convert and lower in one step. *)

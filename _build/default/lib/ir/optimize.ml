@@ -1,0 +1,121 @@
+type binding =
+  | Known of int
+  | Alias of string
+
+let n_statements (p : Ssa.program) = List.length p.Ssa.body
+
+(* Resolve a name through the alias/constant environment. *)
+let resolve env name =
+  match Hashtbl.find_opt env name with
+  | Some (Alias target) -> target
+  | Some (Known _) | None -> name
+
+let substitute env e =
+  let rec go = function
+    | Ast.Int n -> Ast.Int n
+    | Ast.Var x ->
+      (match Hashtbl.find_opt env x with
+      | Some (Known n) -> Ast.Int n
+      | Some (Alias target) -> Ast.Var (resolve env target)
+      | None -> Ast.Var x)
+    | Ast.Neg inner -> Ast.Neg (go inner)
+    | Ast.Binop (op, a, b) -> Ast.Binop (op, go a, go b)
+  in
+  go e
+
+let rec try_eval = function
+  | Ast.Int n -> Some n
+  | Ast.Var _ -> None
+  | Ast.Neg e -> Option.map (fun n -> -n) (try_eval e)
+  | Ast.Binop (op, a, b) ->
+    (match try_eval a, try_eval b with
+    | Some x, Some y -> Some (Dfg.Op.eval (Ast.op_of_binop op) [ x; y ])
+    | _ -> None)
+
+let constant_fold (p : Ssa.program) =
+  let env = Hashtbl.create 32 in
+  let body =
+    List.filter_map
+      (fun stmt ->
+        match stmt with
+        | Ssa.Def (x, e) ->
+          let e' = substitute env e in
+          (match try_eval e' with
+          | Some n ->
+            Hashtbl.replace env x (Known n);
+            Some (Ssa.Def (x, Ast.Int n))
+          | None ->
+            (match e' with
+            | Ast.Var y ->
+              (* pure copy: later uses read the source directly *)
+              Hashtbl.replace env x (Alias y);
+              Some (Ssa.Def (x, e'))
+            | _ -> Some (Ssa.Def (x, e'))))
+        | Ssa.Phi { target; cond; if_true; if_false } ->
+          let cond = resolve env cond in
+          let if_true = resolve env if_true in
+          let if_false = resolve env if_false in
+          (match Hashtbl.find_opt env cond with
+          | Some (Known c) ->
+            let chosen = if c <> 0 then if_true else if_false in
+            (match Hashtbl.find_opt env chosen with
+            | Some (Known n) ->
+              Hashtbl.replace env target (Known n);
+              Some (Ssa.Def (target, Ast.Int n))
+            | _ ->
+              Hashtbl.replace env target (Alias chosen);
+              Some (Ssa.Def (target, Ast.Var chosen)))
+          | _ -> Some (Ssa.Phi { target; cond; if_true; if_false })))
+      p.Ssa.body
+  in
+  let outputs =
+    List.map
+      (fun (o, name) ->
+        match Hashtbl.find_opt env name with
+        | Some (Alias target) -> (o, resolve env target)
+        | _ -> (o, name))
+      p.Ssa.outputs
+  in
+  { p with Ssa.body = body; outputs }
+
+let dead_code (p : Ssa.program) =
+  let needed = Hashtbl.create 32 in
+  List.iter (fun (_, name) -> Hashtbl.replace needed name ()) p.Ssa.outputs;
+  let rec expr_vars = function
+    | Ast.Int _ -> []
+    | Ast.Var x -> [ x ]
+    | Ast.Neg e -> expr_vars e
+    | Ast.Binop (_, a, b) -> expr_vars a @ expr_vars b
+  in
+  let keep =
+    List.rev
+      (List.filter
+         (fun stmt ->
+           match stmt with
+           | Ssa.Def (x, e) ->
+             if Hashtbl.mem needed x then begin
+               List.iter (fun v -> Hashtbl.replace needed v ()) (expr_vars e);
+               true
+             end
+             else false
+           | Ssa.Phi { target; cond; if_true; if_false } ->
+             if Hashtbl.mem needed target then begin
+               List.iter (fun v -> Hashtbl.replace needed v ())
+                 [ cond; if_true; if_false ];
+               true
+             end
+             else false)
+         (List.rev p.Ssa.body))
+  in
+  { p with Ssa.body = keep }
+
+let run p =
+  let rec fixpoint p n =
+    if n = 0 then p
+    else begin
+      let next = dead_code (constant_fold p) in
+      if n_statements next = n_statements p then next
+      else fixpoint next (n - 1)
+    end
+  in
+  fixpoint p 8

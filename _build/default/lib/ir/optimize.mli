@@ -1,0 +1,17 @@
+(** Classic scalar optimisations over SSA: constant folding, copy
+    propagation and dead-code elimination. Useful on unrolled [repeat]
+    bodies, where induction arithmetic folds away before scheduling. *)
+
+val constant_fold : Ssa.program -> Ssa.program
+(** Folds operations whose operands are all known, propagates the
+    results (and copies) forward, and resolves phis with a constant
+    condition. Division by zero is left unfolded only in the sense
+    that it folds to 0, matching {!Dfg.Op.eval}. *)
+
+val dead_code : Ssa.program -> Ssa.program
+(** Drops definitions no output transitively reads. *)
+
+val run : Ssa.program -> Ssa.program
+(** {!constant_fold} then {!dead_code}, iterated to a fixpoint. *)
+
+val n_statements : Ssa.program -> int

@@ -1,0 +1,186 @@
+exception Parse_error of string
+
+type state = { mutable tokens : Lexer.located list }
+
+let current st =
+  match st.tokens with
+  | t :: _ -> t
+  | [] -> assert false (* the token list always ends with EOF *)
+
+let fail st msg =
+  let t = current st in
+  raise
+    (Parse_error
+       (Printf.sprintf "%d:%d: %s (found %S)" t.Lexer.line t.Lexer.column msg
+          (Lexer.token_to_string t.Lexer.token)))
+
+let advance st =
+  match st.tokens with
+  | _ :: (_ :: _ as rest) -> st.tokens <- rest
+  | _ -> ()
+
+let expect st token =
+  let t = current st in
+  if t.Lexer.token = token then advance st
+  else fail st (Printf.sprintf "expected %S" (Lexer.token_to_string token))
+
+let accept st token =
+  let t = current st in
+  if t.Lexer.token = token then begin
+    advance st;
+    true
+  end
+  else false
+
+let ident st =
+  match (current st).Lexer.token with
+  | Lexer.IDENT x ->
+    advance st;
+    x
+  | _ -> fail st "expected identifier"
+
+(* Left-associative binary level: parse [sub] separated by operators
+   drawn from [table]. *)
+let binary_level st ~sub ~table =
+  let rec loop lhs =
+    match List.assoc_opt (current st).Lexer.token table with
+    | Some op ->
+      advance st;
+      let rhs = sub st in
+      loop (Ast.Binop (op, lhs, rhs))
+    | None -> lhs
+  in
+  loop (sub st)
+
+let rec expr st = level_or st
+
+and level_or st =
+  binary_level st ~sub:level_xor ~table:[ (Lexer.PIPE, Ast.Or) ]
+
+and level_xor st =
+  binary_level st ~sub:level_and ~table:[ (Lexer.CARET, Ast.Xor) ]
+
+and level_and st =
+  binary_level st ~sub:level_cmp ~table:[ (Lexer.AMP, Ast.And) ]
+
+and level_cmp st =
+  (* Non-associative comparison. *)
+  let lhs = level_shift st in
+  let table = [ (Lexer.LT, Ast.Lt); (Lexer.GT, Ast.Gt); (Lexer.EQEQ, Ast.Eq) ]
+  in
+  match List.assoc_opt (current st).Lexer.token table with
+  | Some op ->
+    advance st;
+    let rhs = level_shift st in
+    Ast.Binop (op, lhs, rhs)
+  | None -> lhs
+
+and level_shift st =
+  binary_level st ~sub:level_sum
+    ~table:[ (Lexer.SHL, Ast.Shl); (Lexer.SHR, Ast.Shr) ]
+
+and level_sum st =
+  binary_level st ~sub:level_term
+    ~table:[ (Lexer.PLUS, Ast.Add); (Lexer.MINUS, Ast.Sub) ]
+
+and level_term st =
+  binary_level st ~sub:level_unary
+    ~table:[ (Lexer.STAR, Ast.Mul); (Lexer.SLASH, Ast.Div) ]
+
+and level_unary st =
+  if accept st Lexer.MINUS then Ast.Neg (level_unary st) else atom st
+
+and atom st =
+  match (current st).Lexer.token with
+  | Lexer.INT n ->
+    advance st;
+    Ast.Int n
+  | Lexer.IDENT x ->
+    advance st;
+    Ast.Var x
+  | Lexer.LPAREN ->
+    advance st;
+    let e = expr st in
+    expect st Lexer.RPAREN;
+    e
+  | _ -> fail st "expected expression"
+
+let rec stmt st =
+  if accept st Lexer.KW_REPEAT then begin
+    let n =
+      match (current st).Lexer.token with
+      | Lexer.INT n ->
+        advance st;
+        n
+      | _ -> fail st "expected repeat count"
+    in
+    Ast.Repeat (n, block st)
+  end
+  else if accept st Lexer.KW_IF then begin
+    expect st Lexer.LPAREN;
+    let cond = expr st in
+    expect st Lexer.RPAREN;
+    let then_block = block st in
+    let else_block = if accept st Lexer.KW_ELSE then block st else [] in
+    Ast.If (cond, then_block, else_block)
+  end
+  else begin
+    let x = ident st in
+    expect st Lexer.ASSIGN;
+    let e = expr st in
+    expect st Lexer.SEMI;
+    Ast.Assign (x, e)
+  end
+
+and block st =
+  expect st Lexer.LBRACE;
+  let rec stmts acc =
+    if accept st Lexer.RBRACE then List.rev acc else stmts (stmt st :: acc)
+  in
+  stmts []
+
+let decl_list st =
+  let rec loop acc =
+    let x = ident st in
+    if accept st Lexer.COMMA then loop (x :: acc)
+    else begin
+      expect st Lexer.SEMI;
+      List.rev (x :: acc)
+    end
+  in
+  loop []
+
+let program st =
+  let inputs = ref [] and outputs = ref [] in
+  let rec decls () =
+    if accept st Lexer.KW_INPUT then begin
+      inputs := !inputs @ decl_list st;
+      decls ()
+    end
+    else if accept st Lexer.KW_OUTPUT then begin
+      outputs := !outputs @ decl_list st;
+      decls ()
+    end
+  in
+  decls ();
+  let rec stmts acc =
+    if (current st).Lexer.token = Lexer.EOF then List.rev acc
+    else stmts (stmt st :: acc)
+  in
+  let body = stmts [] in
+  { Ast.inputs = !inputs; outputs = !outputs; body }
+
+let parse source =
+  let st = { tokens = Lexer.tokenize source } in
+  let p = program st in
+  match Ast.validate p with
+  | Ok () -> p
+  | Error m -> raise (Parse_error m)
+
+let parse_expr source =
+  let st = { tokens = Lexer.tokenize source } in
+  let e = expr st in
+  (match (current st).Lexer.token with
+  | Lexer.EOF -> ()
+  | _ -> fail st "trailing input after expression");
+  e

@@ -1,0 +1,31 @@
+(** Recursive-descent parser for the behavioral language.
+
+    Grammar (standard C precedence, tightest first):
+    {v
+      program := decl* stmt*
+      decl    := ("input" | "output") ident ("," ident)* ";"
+      stmt    := ident "=" expr ";"
+               | "if" "(" expr ")" block ["else" block]
+               | "repeat" int block
+      block   := "{" stmt* "}"
+      expr    := or
+      or      := xor ("|" xor)*
+      xor     := and ("^" and)*
+      and     := cmp ("&" cmp)*
+      cmp     := shift (("<" | ">" | "==") shift)?
+      shift   := sum (("<<" | ">>") sum)*
+      sum     := term (("+" | "-") term)*
+      term    := unary (("*" | "/") unary)*
+      unary   := "-" unary | atom
+      atom    := int | ident | "(" expr ")"
+    v} *)
+
+exception Parse_error of string
+(** Message includes line:column and the offending token. *)
+
+val parse : string -> Ast.program
+(** Lex + parse + {!Ast.validate}.
+    @raise Parse_error or {!Lexer.Lex_error} on bad input. *)
+
+val parse_expr : string -> Ast.expr
+(** Parse a single expression — convenient for tests. *)

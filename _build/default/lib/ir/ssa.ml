@@ -1,0 +1,111 @@
+type stmt =
+  | Def of string * Ast.expr
+  | Phi of { target : string; cond : string; if_true : string; if_false : string }
+
+type program = {
+  inputs : string list;
+  outputs : (string * string) list;
+  body : stmt list;
+}
+
+type env = (string * string) list (* source variable -> versioned name *)
+
+let of_ast (ast : Ast.program) =
+  (match Ast.validate ast with
+  | Ok () -> ()
+  | Error m -> invalid_arg ("Ssa.of_ast: " ^ m));
+  let counters = Hashtbl.create 16 in
+  let fresh base =
+    let n =
+      match Hashtbl.find_opt counters base with Some n -> n + 1 | None -> 1
+    in
+    Hashtbl.replace counters base n;
+    Printf.sprintf "%s$%d" base n
+  in
+  let body = ref [] in
+  let emit s = body := s :: !body in
+  let rec rename (env : env) = function
+    | Ast.Int n -> Ast.Int n
+    | Ast.Var x ->
+      (match List.assoc_opt x env with
+      | Some v -> Ast.Var v
+      | None -> invalid_arg ("Ssa.of_ast: undefined variable " ^ x))
+    | Ast.Neg e -> Ast.Neg (rename env e)
+    | Ast.Binop (op, a, b) -> Ast.Binop (op, rename env a, rename env b)
+  in
+  (* Returns the environment after the block. *)
+  let rec walk (env : env) = function
+    | [] -> env
+    | Ast.Assign (x, e) :: rest ->
+      let e' = rename env e in
+      let v = fresh x in
+      emit (Def (v, e'));
+      walk ((x, v) :: List.remove_assoc x env) rest
+    | Ast.If (cond, then_block, else_block) :: rest ->
+      let cond' = rename env cond in
+      (* Name the condition so phis can reference it. *)
+      let cond_name =
+        match cond' with
+        | Ast.Var v -> v
+        | _ ->
+          let v = fresh "cond" in
+          emit (Def (v, cond'));
+          v
+      in
+      let env_t = walk env then_block in
+      let env_f = walk env else_block in
+      let joined =
+        List.fold_left
+          (fun acc x ->
+            match List.assoc_opt x env_t, List.assoc_opt x env_f with
+            | Some vt, Some vf when vt <> vf ->
+              let v = fresh x in
+              emit (Phi { target = v; cond = cond_name; if_true = vt;
+                          if_false = vf });
+              (x, v) :: acc
+            | Some v, Some _ -> (x, v) :: acc
+            | _ -> acc (* defined in only one branch: unusable later *))
+          []
+          (List.sort_uniq compare (List.map fst env_t @ List.map fst env_f))
+      in
+      walk joined rest
+    | Ast.Repeat (n, body) :: rest ->
+      (* full unrolling: the scheduler sees one super-block *)
+      let env = ref env in
+      for _ = 1 to n do
+        env := walk !env body
+      done;
+      walk !env rest
+  in
+  let initial = List.map (fun x -> (x, x)) ast.Ast.inputs in
+  let final_env = walk initial ast.Ast.body in
+  let outputs =
+    List.map
+      (fun o ->
+        match List.assoc_opt o final_env with
+        | Some v -> (o, v)
+        | None -> invalid_arg ("Ssa.of_ast: output " ^ o ^ " unassigned"))
+      ast.Ast.outputs
+  in
+  { inputs = ast.Ast.inputs; outputs; body = List.rev !body }
+
+let n_phis p =
+  List.length (List.filter (function Phi _ -> true | Def _ -> false) p.body)
+
+let defined_names p =
+  List.map (function Def (x, _) -> x | Phi { target; _ } -> target) p.body
+
+let pp fmt p =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun s ->
+      match s with
+      | Def (x, e) -> Format.fprintf fmt "%s = %a@," x Ast.pp_expr e
+      | Phi { target; cond; if_true; if_false } ->
+        Format.fprintf fmt "%s = phi(%s, %s, %s)@," target cond if_true
+          if_false)
+    p.body;
+  List.iter
+    (fun (o, v) -> Format.fprintf fmt "output %s = %s@," o v)
+    p.outputs;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,32 @@
+(** Static single assignment conversion with if-conversion.
+
+    Every assignment gets a fresh versioned name ([x$1], [x$2], …;
+    inputs are version 0 and keep their plain name). Conditionals are
+    flattened: both branches are computed speculatively and joined by
+    explicit phi statements — Section 1 of the paper points at exactly
+    these phi nodes as operations whose final form (move or nothing) is
+    only known after register allocation. *)
+
+type stmt =
+  | Def of string * Ast.expr
+      (** target and an expression over versioned names *)
+  | Phi of { target : string; cond : string; if_true : string; if_false : string }
+      (** [target = cond ? if_true : if_false] *)
+
+type program = {
+  inputs : string list;
+  outputs : (string * string) list;
+      (** declared output name -> versioned name holding its value *)
+  body : stmt list;  (** in dependence order *)
+}
+
+val of_ast : Ast.program -> program
+(** @raise Invalid_argument if the program does not {!Ast.validate}. *)
+
+val n_phis : program -> int
+
+val defined_names : program -> string list
+(** Every versioned name defined by the body, in order — each exactly
+    once (the SSA property, asserted by tests). *)
+
+val pp : Format.formatter -> program -> unit

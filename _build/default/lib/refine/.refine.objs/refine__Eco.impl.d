@@ -1,0 +1,1 @@
+lib/refine/eco.ml: Graph Import List Mutate Op Printf Schedule Scheduler Threaded_graph

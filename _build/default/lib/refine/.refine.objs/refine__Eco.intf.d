@@ -1,0 +1,1 @@
+lib/refine/eco.mli: Graph Import Meta Op Resources Threaded_graph

@@ -1,0 +1,1 @@
+lib/refine/floorplan.ml: Array Fun Graph Import List Threaded_graph

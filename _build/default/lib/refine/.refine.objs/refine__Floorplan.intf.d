@@ -1,0 +1,1 @@
+lib/refine/floorplan.mli: Import Threaded_graph

@@ -1,0 +1,1 @@
+lib/refine/import.ml: Dfg Hard Soft

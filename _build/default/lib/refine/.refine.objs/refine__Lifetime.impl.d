@@ -1,0 +1,1 @@
+lib/refine/lifetime.ml: Array Graph Import List Op Schedule

@@ -1,0 +1,1 @@
+lib/refine/lifetime.mli: Graph Import Schedule

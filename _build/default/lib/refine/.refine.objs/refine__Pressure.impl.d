@@ -1,0 +1,1 @@
+lib/refine/pressure.ml: Array Graph Import Lifetime List Paths Schedule Threaded_graph

@@ -1,0 +1,1 @@
+lib/refine/pressure.mli: Import Schedule Threaded_graph

@@ -1,0 +1,1 @@
+lib/refine/regalloc.ml: Graph Import Lifetime List Printf Schedule

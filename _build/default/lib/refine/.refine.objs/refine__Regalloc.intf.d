@@ -1,0 +1,1 @@
+lib/refine/regalloc.mli: Graph Import Schedule

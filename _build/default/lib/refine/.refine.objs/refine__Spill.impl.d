@@ -1,0 +1,1 @@
+lib/refine/spill.ml: Array Fun Graph Import Lifetime List Mutate Op Pressure Printf Resources Schedule Scheduler Threaded_graph

@@ -1,0 +1,1 @@
+lib/refine/spill.mli: Graph Import Meta Resources Threaded_graph

@@ -1,0 +1,1 @@
+lib/refine/wire_insert.ml: Floorplan Graph Import List Mutate Op Printf Resources Schedule Scheduler Threaded_graph

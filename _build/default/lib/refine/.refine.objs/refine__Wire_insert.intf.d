@@ -1,0 +1,1 @@
+lib/refine/wire_insert.mli: Floorplan Graph Import Meta Resources Threaded_graph

@@ -1,0 +1,26 @@
+open Import
+
+let insert_on_edge state ~src ~dst ~op ?delay () =
+  let g = Threaded_graph.graph state in
+  let w = Mutate.insert_on_edge g ~src ~dst ~op ?delay () in
+  Threaded_graph.schedule state w;
+  w
+
+let add_consumer state ~inputs ~op ?delay ?name () =
+  if List.length inputs <> Op.arity op then
+    invalid_arg
+      (Printf.sprintf "Eco.add_consumer: %s expects %d inputs, got %d"
+         (Op.to_string op) (Op.arity op) (List.length inputs));
+  let g = Threaded_graph.graph state in
+  let v = Graph.add_vertex g ?delay ?name op in
+  List.iter (fun p -> Graph.add_edge g p v) inputs;
+  Threaded_graph.schedule state v;
+  v
+
+let diameter_growth ~resources ~meta ~change graph =
+  let g = Graph.copy graph in
+  let state = Scheduler.run ~meta ~resources g in
+  let before = Schedule.length (Threaded_graph.to_schedule state) in
+  change state;
+  let after = Schedule.length (Threaded_graph.to_schedule state) in
+  (before, after)

@@ -1,0 +1,27 @@
+open Import
+
+(** Engineering changes on a live schedule (the paper's conclusion:
+    results "can be refined and are hence immune to … engineering
+    changes"). An ECO adds operations to an already-scheduled design;
+    the soft state absorbs them through the ordinary online scheduler,
+    no re-scheduling pass required. *)
+
+val insert_on_edge :
+  Threaded_graph.t -> src:Graph.vertex -> dst:Graph.vertex -> op:Op.t ->
+  ?delay:int -> unit -> Graph.vertex
+(** Splice a new operation into an existing data edge (e.g. add a
+    saturation or scaling step) and schedule it immediately. *)
+
+val add_consumer :
+  Threaded_graph.t -> inputs:Graph.vertex list -> op:Op.t ->
+  ?delay:int -> ?name:string -> unit -> Graph.vertex
+(** Add a brand-new operation consuming existing values (e.g. a debug
+    tap or a checksum) and schedule it. @raise Invalid_argument if
+    [inputs] does not match the op's arity. *)
+
+val diameter_growth :
+  resources:Resources.t -> meta:Meta.t ->
+  change:(Threaded_graph.t -> unit) -> Graph.t -> int * int
+(** [(before, after)] control steps around an arbitrary change applied
+    to a freshly scheduled copy — the measurement used by the ECO
+    bench. *)

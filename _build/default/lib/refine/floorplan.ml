@@ -1,0 +1,90 @@
+open Import
+
+type t = { positions : (int * int) array }
+
+type delay_model = { cells_per_cycle : int }
+
+let default_model = { cells_per_cycle = 1 }
+
+let traffic state (ka, kb) =
+  let g = Threaded_graph.graph state in
+  let count = ref 0 in
+  Graph.iter_edges
+    (fun u v ->
+      match Threaded_graph.thread_of state u, Threaded_graph.thread_of state v with
+      | Some tu, Some tv
+        when (tu = ka && tv = kb) || (tu = kb && tv = ka) ->
+        incr count
+      | _ -> ())
+    g;
+  !count
+
+(* Grid cells ordered by distance from the origin cell (0,0): a spiral
+   of increasing Manhattan rings, deterministic. *)
+let spiral_cells n =
+  let cells = ref [] in
+  let radius = ref 0 in
+  while List.length !cells < n do
+    let r = !radius in
+    for x = -r to r do
+      let y = r - abs x in
+      if abs x + abs y = r then begin
+        cells := (x, y) :: !cells;
+        if y <> 0 then cells := (x, -y) :: !cells
+      end
+    done;
+    incr radius
+  done;
+  let sorted =
+    List.sort
+      (fun (xa, ya) (xb, yb) ->
+        compare (abs xa + abs ya, xa, ya) (abs xb + abs yb, xb, yb))
+      !cells
+  in
+  Array.of_list sorted
+
+let place state =
+  let k = Threaded_graph.n_threads state in
+  let total_traffic k0 =
+    let sum = ref 0 in
+    for k1 = 0 to k - 1 do
+      if k1 <> k0 then sum := !sum + traffic state (k0, k1)
+    done;
+    !sum
+  in
+  let order =
+    List.sort
+      (fun a b -> compare (-total_traffic a, a) (-total_traffic b, b))
+      (List.init k Fun.id)
+  in
+  let cells = spiral_cells (max k 1) in
+  let positions = Array.make (max k 1) (0, 0) in
+  List.iteri (fun i unit -> positions.(unit) <- cells.(i)) order;
+  { positions }
+
+let position t unit =
+  if unit < 0 || unit >= Array.length t.positions then
+    invalid_arg "Floorplan.position: unknown unit";
+  t.positions.(unit)
+
+let distance t a b =
+  let xa, ya = position t a and xb, yb = position t b in
+  abs (xa - xb) + abs (ya - yb)
+
+let wire_delay t model ~src ~dst =
+  if src = dst then 0
+  else begin
+    if model.cells_per_cycle < 1 then
+      invalid_arg "Floorplan.wire_delay: degenerate delay model";
+    max 0 ((distance t src dst - 1) / model.cells_per_cycle)
+  end
+
+let worst_case_delay t model =
+  let k = Array.length t.positions in
+  let worst = ref 0 in
+  for a = 0 to k - 1 do
+    for b = 0 to k - 1 do
+      if a <> b then worst := max !worst (wire_delay t model ~src:a ~dst:b)
+    done
+  done;
+  !worst

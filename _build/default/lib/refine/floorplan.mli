@@ -1,0 +1,45 @@
+open Import
+
+(** A toy floorplanner standing in for place & route — the substrate of
+    the second phase-coupling scenario (Section 1): interconnect delay
+    can only be known after placement, which is only possible after
+    scheduling/binding.
+
+    Each thread of a scheduled state is one functional unit; units are
+    placed on a unit grid to minimise (greedily) the Manhattan length of
+    the busiest unit-to-unit connections, and a linear model converts
+    wire length to whole-cycle interconnect delays. *)
+
+type t
+
+val place : Threaded_graph.t -> t
+(** Greedy placement: units sorted by total traffic (number of
+    cross-thread data edges) are assigned to grid cells spiralling out
+    from the centre, heaviest first. Deterministic. *)
+
+val position : t -> int -> int * int
+(** Grid coordinates of a thread/unit. *)
+
+val distance : t -> int -> int -> int
+(** Manhattan distance between two units. *)
+
+type delay_model = { cells_per_cycle : int }
+(** A signal crosses [cells_per_cycle] grid cells per clock; crossing
+    fewer costs nothing (it fits in the producing cycle's slack). *)
+
+val default_model : delay_model
+(** [{ cells_per_cycle = 1 }] — every unit of distance beyond a
+    neighbouring cell costs a cycle; deliberately harsh so the deep-
+    submicron effect is visible on small benchmarks. *)
+
+val wire_delay : t -> delay_model -> src:int -> dst:int -> int
+(** Whole cycles of interconnect delay between two units:
+    [max 0 ((distance - 1) / cells_per_cycle)]. Zero for same-unit. *)
+
+val worst_case_delay : t -> delay_model -> int
+(** Max {!wire_delay} over all unit pairs — what a pessimistic hard
+    scheduler would have to assume for every transfer. *)
+
+val traffic : Threaded_graph.t -> (int * int) -> int
+(** Number of data-flow edges between the two threads' operations (in
+    either direction) — the weight the placer minimises. *)

@@ -1,0 +1,55 @@
+open Import
+
+type interval = {
+  producer : Graph.vertex;
+  birth : int;
+  death : int;
+}
+
+(* Values produced by constants are hardwired, stores live in memory and
+   output markers produce nothing; everything else occupies a register
+   from its producer's finish to just past its last consumer's start. *)
+let produces_register_value g v =
+  match Graph.op g v with
+  | Op.Const _ | Op.Store | Op.Output _ -> false
+  | _ -> Graph.succs g v <> []
+
+let intervals schedule =
+  let g = Schedule.graph schedule in
+  let result =
+    Graph.fold_vertices
+      (fun acc v ->
+        if produces_register_value g v then begin
+          let birth = Schedule.finish schedule v in
+          let death =
+            List.fold_left
+              (fun acc c -> max acc (Schedule.start schedule c + 1))
+              (birth + 1) (Graph.succs g v)
+          in
+          { producer = v; birth; death } :: acc
+        end
+        else acc)
+      [] g
+  in
+  List.sort
+    (fun a b -> compare (a.birth, a.producer) (b.birth, b.producer))
+    result
+
+let pressure schedule =
+  let horizon = max (Schedule.length schedule + 1) 1 in
+  let counts = Array.make horizon 0 in
+  List.iter
+    (fun { birth; death; _ } ->
+      for cycle = birth to min (death - 1) (horizon - 1) do
+        counts.(cycle) <- counts.(cycle) + 1
+      done)
+    (intervals schedule);
+  counts
+
+let max_pressure schedule = Array.fold_left max 0 (pressure schedule)
+
+let live_at schedule ~cycle =
+  List.filter_map
+    (fun { producer; birth; death } ->
+      if birth <= cycle && cycle < death then Some producer else None)
+    (intervals schedule)

@@ -1,0 +1,35 @@
+open Import
+
+(** Value lifetimes of a hard schedule.
+
+    The value produced by an operation is born when the operation
+    finishes and dies when its last consumer starts (values feeding
+    [Op.Output] markers stay alive to the end of the schedule). The
+    per-cycle count of simultaneously live values is the register
+    requirement that couples scheduling with register allocation
+    (Section 1, first scenario). *)
+
+type interval = {
+  producer : Graph.vertex;
+  birth : int;  (** first cycle during which the value must be held *)
+  death : int;  (** exclusive: the value is dead from this cycle on *)
+}
+
+val produces_register_value : Graph.t -> Graph.vertex -> bool
+(** Whether the vertex's result occupies a register: false for
+    constants (hardwired), stores (memory), output markers and dead
+    values. *)
+
+val intervals : Schedule.t -> interval list
+(** One interval per vertex that has at least one data consumer or an
+    output marker; ops with zero-width lifetimes are omitted. Sorted by
+    birth (then producer id). *)
+
+val pressure : Schedule.t -> int array
+(** Live-value count per cycle. *)
+
+val max_pressure : Schedule.t -> int
+(** Registers needed to hold every value in the datapath. *)
+
+val live_at : Schedule.t -> cycle:int -> Graph.vertex list
+(** Producers whose values are live during [cycle]. *)

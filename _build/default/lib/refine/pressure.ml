@@ -1,0 +1,57 @@
+open Import
+
+let extract state =
+  let g = Threaded_graph.graph state in
+  let sg = Threaded_graph.state_graph state in
+  let n = Graph.n_vertices sg in
+  if Threaded_graph.n_scheduled state <> n then
+    invalid_arg "Pressure.extract: state not fully scheduled";
+  let diameter = Paths.diameter sg in
+  let alap = Paths.alap_starts sg ~deadline:diameter in
+  let starts = Array.make n (-1) in
+  let placed v = starts.(v) >= 0 in
+  let finish v = starts.(v) + Graph.delay sg v in
+  (* how many of v's graph operands die if v is placed now: operand p
+     dies when every consumer of p is placed (v being the last) *)
+  let kills v =
+    List.length
+      (List.filter
+         (fun p ->
+           Lifetime.produces_register_value g p
+           && List.for_all (fun c -> c = v || placed c) (Graph.succs g p))
+         (Graph.preds g v))
+  in
+  let births v = if Lifetime.produces_register_value g v then 1 else 0 in
+  let unplaced = ref n in
+  let cycle = ref 0 in
+  while !unplaced > 0 do
+    let c = !cycle in
+    if c > diameter then failwith "Pressure.extract: ran past the deadline";
+    let progress = ref true in
+    while !progress do
+      progress := false;
+      Graph.iter_vertices
+        (fun v ->
+          if not (placed v) then begin
+            let ready =
+              List.for_all
+                (fun p -> placed p && finish p <= c)
+                (Graph.preds sg v)
+            in
+            if ready then begin
+              let forced = alap.(v) <= c in
+              let frees = kills v >= births v in
+              if forced || frees then begin
+                starts.(v) <- c;
+                decr unplaced;
+                progress := true
+              end
+            end
+          end)
+        sg
+    done;
+    incr cycle
+  done;
+  Schedule.make g ~starts
+
+let max_pressure_of_state state = Lifetime.max_pressure (extract state)

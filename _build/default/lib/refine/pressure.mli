@@ -1,0 +1,21 @@
+open Import
+
+(** Register-pressure-aware hard-schedule extraction.
+
+    The soft state leaves slack: any start times consistent with its
+    partial order are a legal hard schedule, and both plain extractions
+    are poor for registers (ASAP computes values as early as possible,
+    ALAP postpones value {e kills} — spill stores included — as long as
+    possible). This pass sweeps forward cycle by cycle and places a
+    ready operation early only when doing so frees at least as many
+    registers as it occupies (it is the last consumer of some live
+    value); everything else waits for its ALAP deadline. The result
+    always has length = state diameter and respects the thread
+    serialisation, i.e. the resource bounds. *)
+
+val extract : Threaded_graph.t -> Schedule.t
+(** @raise Invalid_argument unless the state is fully scheduled. *)
+
+val max_pressure_of_state : Threaded_graph.t -> int
+(** [Lifetime.max_pressure (extract state)] — the register requirement
+    the refinement loop steers by. *)

@@ -1,0 +1,1 @@
+lib/retime/import.ml: Dfg Hard Soft

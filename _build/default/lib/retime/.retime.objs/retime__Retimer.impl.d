@@ -1,0 +1,1 @@
+lib/retime/retimer.ml: Array Fun Import List Op Paths Schedule Scheduler Seq_graph

@@ -1,0 +1,1 @@
+lib/retime/retimer.mli: Import Resources Seq_graph

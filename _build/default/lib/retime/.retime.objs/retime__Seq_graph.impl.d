@@ -1,0 +1,1 @@
+lib/retime/seq_graph.ml: Array Dfg Graph Import List Op Paths Printf Queue

@@ -1,0 +1,1 @@
+lib/retime/seq_graph.mli: Dfg Import Op

@@ -1,0 +1,1 @@
+lib/retime/workloads.ml: Array Import Op Printf Seq_graph

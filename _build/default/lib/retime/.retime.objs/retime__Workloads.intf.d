@@ -1,0 +1,1 @@
+lib/retime/workloads.mli: Seq_graph

@@ -1,0 +1,6 @@
+module Graph = Dfg.Graph
+module Op = Dfg.Op
+module Paths = Dfg.Paths
+module Resources = Hard.Resources
+module Schedule = Hard.Schedule
+module Scheduler = Soft.Scheduler

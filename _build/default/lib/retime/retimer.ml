@@ -1,0 +1,93 @@
+open Import
+
+(* Combinational arrival times of a retimed graph: longest zero-weight
+   path ending at each vertex, inclusive of its own delay. *)
+let arrivals g =
+  let dag, map = Seq_graph.combinational_slice g in
+  let sdist = Paths.source_distances dag in
+  Array.init (Seq_graph.n_vertices g) (fun v -> sdist.(map.(v)))
+
+(* Environment (host) vertices keep lag 0: retiming must not change the
+   design's I/O latency, only move the internal registers
+   (Leiserson–Saxe's host convention). *)
+let is_host g v =
+  match Seq_graph.op g v with
+  | Op.Input _ | Op.Output _ -> true
+  | _ -> false
+
+let feas g ~period =
+  let n = Seq_graph.n_vertices g in
+  let lag = Array.make n 0 in
+  let current = ref g in
+  let iterations = max 1 (n - 1) in
+  let legal = ref true in
+  (try
+     for _ = 1 to iterations do
+       let delta = arrivals !current in
+       Array.iteri
+         (fun v d ->
+           if d > period && not (is_host g v) then lag.(v) <- lag.(v) + 1)
+         delta;
+       current := Seq_graph.retime g ~lag
+     done
+   with Invalid_argument _ -> legal := false);
+  if not !legal then None
+  else begin
+    let final = Seq_graph.retime g ~lag in
+    if Seq_graph.combinational_period final <= period then Some lag
+    else None
+  end
+
+let min_period g =
+  let upper = Seq_graph.combinational_period g in
+  let lower =
+    List.fold_left
+      (fun acc v -> max acc (Seq_graph.delay g v))
+      1
+      (List.init (Seq_graph.n_vertices g) Fun.id)
+  in
+  let rec search lo hi best =
+    if lo > hi then best
+    else begin
+      let mid = (lo + hi) / 2 in
+      match feas g ~period:mid with
+      | Some lag -> search lo (mid - 1) (mid, lag)
+      | None -> search (mid + 1) hi best
+    end
+  in
+  search lower upper (upper, Array.make (Seq_graph.n_vertices g) 0)
+
+type outcome = {
+  lag : int array;
+  period_before : int;
+  period_after : int;
+  csteps_before : int;
+  csteps_after : int;
+}
+
+let slice_csteps ~resources g =
+  let dag, _ = Seq_graph.combinational_slice g in
+  Schedule.length (Scheduler.run_to_schedule ~resources dag)
+
+let constrained ~resources g =
+  let period_before = Seq_graph.combinational_period g in
+  let csteps_before = slice_csteps ~resources g in
+  let best_period, _ = min_period g in
+  let n = Seq_graph.n_vertices g in
+  let identity = Array.make n 0 in
+  let best = ref (identity, period_before, csteps_before) in
+  for period = best_period to period_before - 1 do
+    match feas g ~period with
+    | None -> ()
+    | Some lag ->
+      let retimed = Seq_graph.retime g ~lag in
+      let csteps = slice_csteps ~resources retimed in
+      let _, best_p, best_c = !best in
+      if csteps < best_c || (csteps = best_c && period < best_p) then
+        best := (lag, period, csteps)
+  done;
+  let lag, _target, csteps_after = !best in
+  let period_after =
+    Seq_graph.combinational_period (Seq_graph.retime g ~lag)
+  in
+  { lag; period_before; period_after; csteps_before; csteps_after }

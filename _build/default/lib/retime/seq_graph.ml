@@ -1,0 +1,137 @@
+open Import
+
+type vertex = int
+
+type node = {
+  op : Op.t;
+  delay : int;
+  name : string;
+  mutable out : (vertex * int) list; (* successor, weight *)
+  mutable inn : (vertex * int) list;
+}
+
+type t = { nodes : node Dfg.Vec.t }
+
+let dummy = { op = Op.Const 0; delay = 0; name = ""; out = []; inn = [] }
+
+let create () = { nodes = Dfg.Vec.create ~dummy () }
+
+let n_vertices g = Dfg.Vec.length g.nodes
+
+let node g v =
+  if v < 0 || v >= n_vertices g then
+    invalid_arg (Printf.sprintf "Seq_graph: unknown vertex %d" v);
+  Dfg.Vec.get g.nodes v
+
+let add_vertex g ?delay ?name op =
+  let delay = match delay with Some d -> d | None -> Dfg.Delay.of_op op in
+  let id = Dfg.Vec.length g.nodes in
+  let name = match name with Some n -> n | None -> Printf.sprintf "v%d" id in
+  let _ =
+    Dfg.Vec.push g.nodes { op; delay; name; out = []; inn = [] }
+  in
+  id
+
+let add_edge g u v ~weight =
+  if weight < 0 then invalid_arg "Seq_graph.add_edge: negative weight";
+  if u = v && weight = 0 then
+    invalid_arg "Seq_graph.add_edge: zero-weight self loop";
+  let nu = node g u and nv = node g v in
+  if List.mem_assoc v nu.out then
+    invalid_arg "Seq_graph.add_edge: duplicate edge";
+  nu.out <- (v, weight) :: nu.out;
+  nv.inn <- (u, weight) :: nv.inn
+
+let op g v = (node g v).op
+let delay g v = (node g v).delay
+let name g v = (node g v).name
+let succs g v = List.rev (node g v).out
+let preds g v = List.rev (node g v).inn
+
+let edges g =
+  List.concat
+    (List.init (n_vertices g) (fun u ->
+         List.map (fun (v, w) -> (u, v, w)) (succs g u)))
+
+let total_registers g =
+  List.fold_left (fun acc (_, _, w) -> acc + w) 0 (edges g)
+
+(* Kahn over the zero-weight subgraph. *)
+let zero_weight_topo g =
+  let n = n_vertices g in
+  let indeg = Array.make n 0 in
+  List.iter (fun (_, v, w) -> if w = 0 then indeg.(v) <- indeg.(v) + 1)
+    (edges g);
+  let queue = Queue.create () in
+  Array.iteri (fun v d -> if d = 0 then Queue.add v queue) indeg;
+  let order = ref [] in
+  let count = ref 0 in
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    order := u :: !order;
+    incr count;
+    List.iter
+      (fun (v, w) ->
+        if w = 0 then begin
+          indeg.(v) <- indeg.(v) - 1;
+          if indeg.(v) = 0 then Queue.add v queue
+        end)
+      (succs g u)
+  done;
+  if !count = n then Some (List.rev !order) else None
+
+let well_formed g =
+  match zero_weight_topo g with
+  | Some _ -> Ok ()
+  | None -> Error "zero-weight cycle (a combinational loop)"
+
+let retime g ~lag =
+  if Array.length lag <> n_vertices g then
+    invalid_arg "Seq_graph.retime: lag vector size mismatch";
+  let retimed = create () in
+  for v = 0 to n_vertices g - 1 do
+    let _ =
+      add_vertex retimed ~delay:(delay g v) ~name:(name g v) (op g v)
+    in
+    ()
+  done;
+  List.iter
+    (fun (u, v, w) ->
+      let w' = w + lag.(v) - lag.(u) in
+      if w' < 0 then
+        invalid_arg
+          (Printf.sprintf "Seq_graph.retime: edge %s -> %s gets weight %d"
+             (name g u) (name g v) w');
+      add_edge retimed u v ~weight:w')
+    (edges g);
+  retimed
+
+let combinational_slice g =
+  (match well_formed g with
+  | Ok () -> ()
+  | Error m -> invalid_arg ("Seq_graph.combinational_slice: " ^ m));
+  let dag = Graph.create () in
+  let map = Array.make (n_vertices g) (-1) in
+  for v = 0 to n_vertices g - 1 do
+    map.(v) <- Graph.add_vertex dag ~delay:(delay g v) ~name:(name g v) (op g v)
+  done;
+  let register_count = ref 0 in
+  List.iter
+    (fun (u, v, w) ->
+      if w = 0 then Graph.add_edge dag map.(u) map.(v)
+      else begin
+        (* a registered input: the value arrives from a previous tick *)
+        incr register_count;
+        let r =
+          Graph.add_vertex dag
+            ~name:(Printf.sprintf "r%d_%s" !register_count (name g u))
+            (Op.Input (Printf.sprintf "r%d" !register_count))
+        in
+        Graph.add_edge dag r map.(v)
+      end)
+    (edges g);
+  (dag, map)
+
+let combinational_period g =
+  let dag, _ = combinational_slice g in
+  Paths.diameter dag

@@ -1,0 +1,51 @@
+open Import
+
+(** Sequential (synchronous) dataflow graphs for retiming.
+
+    A sequential graph is a directed graph whose edges carry a
+    register count (weight ≥ 0); cycles are legal as long as every
+    cycle carries at least one register (Leiserson–Saxe). Vertices are
+    operations with the same delay model as the rest of the repository.
+    This is the substrate for the paper's second outlook application:
+    {e resource-constrained retiming}. *)
+
+type t
+type vertex = int
+
+val create : unit -> t
+
+val add_vertex : t -> ?delay:int -> ?name:string -> Op.t -> vertex
+
+val add_edge : t -> vertex -> vertex -> weight:int -> unit
+(** @raise Invalid_argument on a negative weight, an unknown endpoint,
+    or a duplicate edge. Self-loops are allowed when [weight > 0]. *)
+
+val n_vertices : t -> int
+val op : t -> vertex -> Op.t
+val delay : t -> vertex -> int
+val name : t -> vertex -> string
+val edges : t -> (vertex * vertex * int) list
+val succs : t -> vertex -> (vertex * int) list
+val preds : t -> vertex -> (vertex * int) list
+
+val well_formed : t -> (unit, string) result
+(** Every zero-weight cycle is illegal: the subgraph of zero-weight
+    edges must be acyclic. *)
+
+val retime : t -> lag:int array -> t
+(** Leiserson–Saxe retiming: edge [(u, v)] gets weight
+    [w + lag.(v) - lag.(u)]. @raise Invalid_argument if any retimed
+    weight is negative or [lag] has the wrong length. *)
+
+val combinational_slice : t -> Dfg.Graph.t * vertex array
+(** The DAG a single clock "tick" computes: every vertex once, with
+    the zero-weight edges as dependences; registered inputs appear as
+    extra [Op.Input "rN"] vertices so the slice is evaluable and
+    schedulable. Returns the DAG and a map from sequential vertex to
+    its DAG vertex. @raise Invalid_argument if not {!well_formed}. *)
+
+val combinational_period : t -> int
+(** Longest zero-weight path (in cycle delays) — the clock period an
+    unconstrained implementation needs. *)
+
+val total_registers : t -> int

@@ -1,0 +1,1 @@
+lib/rtl/binding.ml: Buffer Fun Graph Hashtbl Import List Op Printf Regalloc Regbind Resources Schedule String Threaded_graph

@@ -1,0 +1,1 @@
+lib/rtl/binding.mli: Graph Import Regbind Resources Schedule Threaded_graph

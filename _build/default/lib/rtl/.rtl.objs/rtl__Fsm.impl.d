@@ -1,0 +1,1 @@
+lib/rtl/fsm.ml: Array Binding Dfg Format Graph Import List Printf Schedule

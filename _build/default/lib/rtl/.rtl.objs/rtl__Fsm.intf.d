@@ -1,0 +1,1 @@
+lib/rtl/fsm.mli: Binding Format Graph Import

@@ -1,0 +1,1 @@
+lib/rtl/import.ml: Dfg Hard Refine Soft

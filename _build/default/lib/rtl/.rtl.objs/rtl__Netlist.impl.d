@@ -1,0 +1,1 @@
+lib/rtl/netlist.ml: Binding Format Graph Hashtbl Import List Op Option Printf Resources Schedule

@@ -1,0 +1,1 @@
+lib/rtl/regbind.ml: Dfg Graph Import Lifetime List Regalloc Schedule Threaded_graph

@@ -1,0 +1,1 @@
+lib/rtl/regbind.mli: Import Regalloc Schedule Threaded_graph

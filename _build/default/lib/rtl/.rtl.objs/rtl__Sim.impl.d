@@ -1,0 +1,1 @@
+lib/rtl/sim.ml: Array Binding Eval Fsm Graph Hashtbl Import List Op Printf Schedule String

@@ -1,0 +1,1 @@
+lib/rtl/vcd.ml: Array Binding Buffer Bytes Char Graph Import List Op Printf Schedule Sim String

@@ -1,0 +1,1 @@
+lib/rtl/vcd.mli: Binding Eval Import

@@ -1,0 +1,1 @@
+lib/rtl/verilog.ml: Binding Buffer Graph Import List Op Printf Schedule Sim String

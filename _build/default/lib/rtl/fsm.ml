@@ -1,0 +1,61 @@
+open Import
+
+type action =
+  | Issue of Graph.vertex
+  | Writeback of Graph.vertex
+
+type t = {
+  binding : Binding.t;
+  topo_rank : int array;
+  length : int;
+}
+
+let of_binding binding =
+  let g = Schedule.graph binding.Binding.schedule in
+  let rank = Array.make (Graph.n_vertices g) 0 in
+  List.iteri (fun i v -> rank.(v) <- i) (Dfg.Topo.sort g);
+  { binding; topo_rank = rank; length = Schedule.length binding.Binding.schedule }
+
+let n_states t = t.length
+
+let actions t ~state =
+  if state < 0 || state > t.length then
+    invalid_arg (Printf.sprintf "Fsm.actions: no state %d" state);
+  let schedule = t.binding.Binding.schedule in
+  let g = Schedule.graph schedule in
+  let by_rank vs = List.sort (fun a b -> compare t.topo_rank.(a) t.topo_rank.(b)) vs in
+  let writebacks =
+    by_rank
+      (List.filter
+         (fun v ->
+           Graph.delay g v > 0 && Schedule.finish schedule v = state)
+         (Graph.vertices g))
+  in
+  (* Zero-delay stragglers (output markers) may start exactly at the
+     final boundary state; anything with delay would extend the
+     schedule, so only they can appear there. *)
+  let issues =
+    by_rank
+      (List.filter
+         (fun v -> Schedule.start schedule v = state)
+         (Graph.vertices g))
+  in
+  List.map (fun v -> Writeback v) writebacks
+  @ List.map (fun v -> Issue v) issues
+
+let pp fmt t =
+  let g = Schedule.graph t.binding.Binding.schedule in
+  Format.fprintf fmt "@[<v>controller: %d states" t.length;
+  for state = 0 to t.length do
+    let acts = actions t ~state in
+    if acts <> [] then begin
+      Format.fprintf fmt "@,  s%-3d" state;
+      List.iter
+        (fun a ->
+          match a with
+          | Issue v -> Format.fprintf fmt " issue(%s)" (Graph.name g v)
+          | Writeback v -> Format.fprintf fmt " wb(%s)" (Graph.name g v))
+        acts
+    end
+  done;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,26 @@
+open Import
+
+(** The controller: a Moore FSM with one state per control step,
+    issuing operations and latching results. *)
+
+type action =
+  | Issue of Graph.vertex
+      (** operation starts: operands are read/latched this cycle *)
+  | Writeback of Graph.vertex
+      (** operation's result is committed entering this cycle *)
+
+type t
+
+val of_binding : Binding.t -> t
+
+val n_states : t -> int
+(** Schedule length; states are [0 .. n_states - 1]. *)
+
+val actions : t -> state:int -> action list
+(** Writebacks first, then issues, each group in topological order of
+    the dataflow graph — the in-cycle ordering a zero-delay chain
+    needs. [state = n_states] is allowed and carries the final
+    writebacks plus any zero-delay output markers sampling them. *)
+
+val pp : Format.formatter -> t -> unit
+(** One line per state listing its control word. *)

@@ -1,0 +1,131 @@
+open Import
+
+type component =
+  | Fu of { id : int; cls : Resources.fu_class }
+  | Register of int
+  | Memory_slot of int
+  | Const_source of int
+  | In_port of string
+  | Out_port of string
+
+type endpoint =
+  | Fu_output of int
+  | Fu_input of { fu : int; port : int }
+  | Register_out of int
+  | Register_in of int
+  | Memory_out of int
+  | Memory_in of int
+  | Const_out of int
+  | Port_in of string
+  | Port_out of string
+
+type t = {
+  components : component list;
+  connections : (endpoint * endpoint) list;
+}
+
+let source_endpoint = function
+  | Binding.From_register r -> Register_out r
+  | Binding.From_constant n -> Const_out n
+  | Binding.From_memory slot -> Memory_out slot
+
+let of_binding binding =
+  let g = Schedule.graph binding.Binding.schedule in
+  let components = ref [] in
+  let connections = ref [] in
+  let add_component c =
+    if not (List.mem c !components) then components := c :: !components
+  in
+  let add_connection c = if not (List.mem c !connections) then
+      connections := c :: !connections
+  in
+  for fu = 0 to binding.Binding.n_fus - 1 do
+    add_component (Fu { id = fu; cls = binding.Binding.fu_class fu })
+  done;
+  for r = 0 to binding.Binding.n_registers - 1 do
+    add_component (Register r)
+  done;
+  List.iter (fun (_, slot) -> add_component (Memory_slot slot))
+    binding.Binding.memory_slot;
+  Graph.iter_vertices
+    (fun v ->
+      match Graph.op g v with
+      | Op.Input name ->
+        add_component (In_port name);
+        (match Binding.register_of binding v with
+        | Some r -> add_connection (Port_in name, Register_in r)
+        | None -> ())
+      | Op.Output name ->
+        add_component (Out_port name);
+        List.iter
+          (fun s -> add_connection (source_endpoint s, Port_out name))
+          (Binding.operand_sources binding v)
+      | Op.Const n -> add_component (Const_source n)
+      | _ ->
+        let sources = Binding.operand_sources binding v in
+        (match Binding.fu_of binding v with
+        | Some fu ->
+          (* operands into the unit's input ports … *)
+          List.iteri
+            (fun port s ->
+              add_connection (source_endpoint s, Fu_input { fu; port }))
+            sources;
+          (* … result into its register or memory slot. *)
+          (match Binding.register_of binding v with
+          | Some r -> add_connection (Fu_output fu, Register_in r)
+          | None -> ());
+          (match Binding.slot_of_store binding v with
+          | Some slot -> add_connection (Fu_output fu, Memory_in slot)
+          | None -> ())
+        | None ->
+          (* free op (wire delay): value passes register to register *)
+          (match Binding.register_of binding v with
+          | Some r ->
+            List.iter
+              (fun s -> add_connection (source_endpoint s, Register_in r))
+              sources
+          | None -> ())))
+    g;
+  { components = List.rev !components; connections = List.rev !connections }
+
+let n_mux_inputs t =
+  let sinks = Hashtbl.create 32 in
+  List.iter
+    (fun (_, sink) ->
+      Hashtbl.replace sinks sink (1 + Option.value ~default:0 (Hashtbl.find_opt sinks sink)))
+    t.connections;
+  Hashtbl.fold (fun _ n acc -> if n > 1 then acc + n else acc) sinks 0
+
+let endpoint_to_string = function
+  | Fu_output fu -> Printf.sprintf "fu%d.out" fu
+  | Fu_input { fu; port } -> Printf.sprintf "fu%d.in%d" fu port
+  | Register_out r -> Printf.sprintf "r%d.out" r
+  | Register_in r -> Printf.sprintf "r%d.in" r
+  | Memory_out s -> Printf.sprintf "mem%d.out" s
+  | Memory_in s -> Printf.sprintf "mem%d.in" s
+  | Const_out n -> Printf.sprintf "const(%d)" n
+  | Port_in p -> Printf.sprintf "port.%s" p
+  | Port_out p -> Printf.sprintf "port.%s" p
+
+let component_to_string = function
+  | Fu { id; cls } -> Printf.sprintf "fu%d:%s" id (Resources.class_name cls)
+  | Register r -> Printf.sprintf "r%d" r
+  | Memory_slot s -> Printf.sprintf "mem%d" s
+  | Const_source n -> Printf.sprintf "const(%d)" n
+  | In_port p -> Printf.sprintf "in:%s" p
+  | Out_port p -> Printf.sprintf "out:%s" p
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>netlist: %d components, %d connections, %d mux inputs"
+    (List.length t.components)
+    (List.length t.connections)
+    (n_mux_inputs t);
+  List.iter
+    (fun c -> Format.fprintf fmt "@,  %s" (component_to_string c))
+    t.components;
+  List.iter
+    (fun (a, b) ->
+      Format.fprintf fmt "@,  %s -> %s" (endpoint_to_string a)
+        (endpoint_to_string b))
+    t.connections;
+  Format.fprintf fmt "@]"

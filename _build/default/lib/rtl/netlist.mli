@@ -1,0 +1,38 @@
+open Import
+
+(** Structural view of the bound datapath: components and the
+    point-to-point connections the steering logic (muxes) must
+    provide. *)
+
+type component =
+  | Fu of { id : int; cls : Resources.fu_class }
+  | Register of int
+  | Memory_slot of int
+  | Const_source of int
+  | In_port of string
+  | Out_port of string
+
+type endpoint =
+  | Fu_output of int
+  | Fu_input of { fu : int; port : int }
+  | Register_out of int
+  | Register_in of int
+  | Memory_out of int
+  | Memory_in of int
+  | Const_out of int
+  | Port_in of string  (** value entering from an input port *)
+  | Port_out of string
+
+type t = {
+  components : component list;
+  connections : (endpoint * endpoint) list;  (** (driver, sink) *)
+}
+
+val of_binding : Binding.t -> t
+
+val n_mux_inputs : t -> int
+(** Total steering cost: for every sink with more than one driver, the
+    number of drivers — the interconnect-complexity metric of the
+    binding ablation. *)
+
+val pp : Format.formatter -> t -> unit

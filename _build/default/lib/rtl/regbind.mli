@@ -1,0 +1,20 @@
+open Import
+
+(** Register binding policies.
+
+    Left-edge minimises the register count but scatters unrelated
+    values across registers, inflating the steering logic (each FU
+    input port needs a mux over every distinct source it ever reads).
+    The mux-aware policy packs values that share a producer unit or a
+    consumer unit into the same register, trading an occasional extra
+    register for narrower muxes — the classic interconnect-oriented
+    binding of the layout-driven HLS literature the paper cites
+    (ChipEst, 3D scheduling). *)
+
+type policy = [ `Left_edge | `Mux_aware ]
+
+val bind :
+  policy -> Threaded_graph.t -> Schedule.t -> Regalloc.allocation
+(** Register assignment for every register value of the schedule (the
+    state supplies the FU binding used by the affinity scoring). The
+    result always passes {!Regalloc.verify}. *)

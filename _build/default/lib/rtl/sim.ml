@@ -1,0 +1,89 @@
+open Import
+
+type trace_entry = {
+  cycle : int;
+  vertex : Graph.vertex;
+  event : [ `Issue | `Writeback ];
+  value : int option;
+}
+
+let run ?(trace = false) binding ~env =
+  let schedule = binding.Binding.schedule in
+  let g = Schedule.graph schedule in
+  let fsm = Fsm.of_binding binding in
+  let registers = Array.make (max binding.Binding.n_registers 1) 0 in
+  let memory = Array.make (max (List.length binding.Binding.memory_slot) 1) 0 in
+  let pending = Hashtbl.create 16 in (* vertex -> computed result *)
+  let outputs = ref [] in
+  let log = ref [] in
+  let note cycle vertex event value =
+    if trace then log := { cycle; vertex; event; value } :: !log
+  in
+  let read_source = function
+    | Binding.From_register r -> registers.(r)
+    | Binding.From_constant n -> n
+    | Binding.From_memory slot -> memory.(slot)
+  in
+  let commit v result =
+    (match Graph.op g v with
+    | Op.Store ->
+      (match Binding.slot_of_store binding v with
+      | Some slot -> memory.(slot) <- result
+      | None -> invalid_arg "Sim.run: store without a slot")
+    | Op.Output name -> outputs := (name, result) :: !outputs
+    | _ ->
+      (match Binding.register_of binding v with
+      | Some r -> registers.(r) <- result
+      | None -> () (* dead value: no consumer, nothing to keep *)))
+  in
+  let compute v =
+    match Graph.op g v with
+    | Op.Input name -> List.assoc name env
+    | op ->
+      let operands = List.map read_source (Binding.operand_sources binding v) in
+      Op.eval op operands
+  in
+  for cycle = 0 to Fsm.n_states fsm do
+    List.iter
+      (fun action ->
+        match action with
+        | Fsm.Writeback v ->
+          let result =
+            match Hashtbl.find_opt pending v with
+            | Some r -> r
+            | None -> failwith "Sim.run: writeback without issue"
+          in
+          Hashtbl.remove pending v;
+          commit v result;
+          note cycle v `Writeback (Some result)
+        | Fsm.Issue v ->
+          (* Operands are read (latched) at issue. *)
+          let result = compute v in
+          note cycle v `Issue None;
+          if Graph.delay g v = 0 then begin
+            (* combinational this cycle *)
+            commit v result;
+            note cycle v `Writeback (Some result)
+          end
+          else Hashtbl.replace pending v result)
+      (Fsm.actions fsm ~state:cycle)
+  done;
+  if Hashtbl.length pending <> 0 then
+    failwith "Sim.run: operations still in flight after the last state";
+  (List.rev !outputs, List.rev !log)
+
+let check_against_eval binding ~env =
+  let g = Schedule.graph binding.Binding.schedule in
+  let expected = Eval.outputs g env in
+  let actual, _ = run binding ~env in
+  let sort = List.sort compare in
+  if sort expected = sort actual then Ok ()
+  else
+    Error
+      (Printf.sprintf "simulation mismatch: expected {%s} got {%s}"
+         (String.concat "; "
+            (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+               (sort expected)))
+         (String.concat "; "
+            (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+               (sort actual))))

@@ -1,0 +1,26 @@
+open Import
+
+(** Cycle-accurate simulation of the bound datapath under its
+    controller — the end-to-end functional check that scheduling,
+    binding and register reuse preserved the behaviour. *)
+
+type trace_entry = {
+  cycle : int;
+  vertex : Graph.vertex;
+  event : [ `Issue | `Writeback ];
+  value : int option;  (** result value on writeback *)
+}
+
+val run :
+  ?trace:bool -> Binding.t -> env:Eval.env ->
+  (string * int) list * trace_entry list
+(** Executes the FSM cycle by cycle over the register file and spill
+    memory. Returns the output-port values (in vertex order) and, when
+    [trace], the event log. Register reuse is real: a register may hold
+    different values over time, and the simulation faithfully breaks if
+    the left-edge allocation were wrong (exercised by tests).
+    @raise Not_found for a missing input value. *)
+
+val check_against_eval : Binding.t -> env:Eval.env -> (unit, string) result
+(** Compare {!run} against the pure dataflow evaluation
+    {!Dfg.Eval.outputs}. *)

@@ -1,0 +1,9 @@
+open Import
+
+(** Value-change-dump (IEEE 1364 §18) export of a datapath simulation —
+    load the result in GTKWave next to the emitted Verilog. *)
+
+val of_run : ?module_name:string -> Binding.t -> env:Eval.env -> string
+(** Simulate the bound design over [env] and dump every register, the
+    spill memory slots and the output ports, one timestep per control
+    step. @raise Not_found for a missing input. *)

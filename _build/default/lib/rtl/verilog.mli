@@ -1,0 +1,29 @@
+
+(** Behavioral-RTL Verilog emission of the bound design: one module
+    with a state-counter controller, the shared functional units'
+    operand latches, the left-edge-allocated register file and the
+    spill memory.
+
+    State mapping: Verilog state 0 samples the input ports into their
+    registers; state [s] executes control step [s - 1]; [done] rises
+    with the last state. Every operation must have delay ≥ 1 except the
+    [Input]/[Const]/[Output] pseudo-ops (zero-delay arithmetic would
+    need combinational chaining across registers, which this emitter
+    deliberately does not model). *)
+
+val emit : ?module_name:string -> ?width:int -> Binding.t -> string
+(** @raise Invalid_argument on a zero-delay resource operation or an
+    unbound value. [width] defaults to 32 bits, [module_name] to
+    ["design"]. *)
+
+val port_names : Binding.t -> string list * string list
+(** [(inputs, outputs)] port base names, in vertex order. *)
+
+val emit_testbench :
+  ?module_name:string -> ?width:int -> Binding.t -> env:Import.Eval.env ->
+  string
+(** A self-checking testbench: drives [env] into the design, waits for
+    [done], compares every output against the cycle-accurate
+    simulator's prediction and prints PASS/FAIL. Runs under any
+    IEEE-1364 simulator ([iverilog tb.v design.v && ./a.out]).
+    @raise Not_found for a missing input value. *)

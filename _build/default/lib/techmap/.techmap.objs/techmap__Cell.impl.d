@@ -1,0 +1,1 @@
+lib/techmap/cell.ml: Fun Import List Op

@@ -1,0 +1,1 @@
+lib/techmap/cell.mli: Import Op

@@ -1,0 +1,1 @@
+lib/techmap/cover.ml: Array Cell Graph Import List Op Topo

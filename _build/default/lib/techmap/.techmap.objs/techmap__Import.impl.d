@@ -1,0 +1,1 @@
+lib/techmap/import.ml: Dfg Hard Soft

@@ -1,0 +1,1 @@
+lib/techmap/mapper.ml: Cell Cover Graph Hashtbl Import List Op Schedule Scheduler

@@ -1,0 +1,56 @@
+open Import
+
+type pattern =
+  | Any
+  | Node of Op.t * pattern list
+
+type t = {
+  name : string;
+  pattern : pattern;
+  fused : Op.t;
+  operand_order : int list;
+  delay : int;
+}
+
+let rec n_leaves = function
+  | Any -> 1
+  | Node (_, subs) -> List.fold_left (fun acc p -> acc + n_leaves p) 0 subs
+
+let mac =
+  {
+    name = "mac";
+    pattern = Node (Op.Add, [ Node (Op.Mul, [ Any; Any ]); Any ]);
+    fused = Op.Mac;
+    operand_order = [ 0; 1; 2 ]; (* leaves a b c -> mac(a, b, c) *)
+    delay = 2;
+  }
+
+let mac_commuted =
+  {
+    name = "mac'";
+    pattern = Node (Op.Add, [ Any; Node (Op.Mul, [ Any; Any ]) ]);
+    fused = Op.Mac;
+    operand_order = [ 2; 0; 1 ]; (* leaves c a b -> mac(a, b, c) *)
+    delay = 2;
+  }
+
+let msu =
+  {
+    name = "msu";
+    pattern = Node (Op.Sub, [ Any; Node (Op.Mul, [ Any; Any ]) ]);
+    fused = Op.Msu;
+    operand_order = [ 2; 0; 1 ]; (* leaves c a b -> msu(a, b, c) = c - a*b *)
+    delay = 2;
+  }
+
+let default_library = [ mac; mac_commuted; msu ]
+
+let validate cell =
+  let leaves = n_leaves cell.pattern in
+  if cell.pattern = Any then Error "cell pattern must be an operation"
+  else if List.sort compare cell.operand_order <> List.init leaves Fun.id
+  then Error "operand_order is not a permutation of the leaves"
+  else if Op.arity cell.fused <> leaves then
+    Error "fused op arity does not match the leaf count"
+  else if cell.delay < 1 then Error "cell delay must be positive"
+  else Ok ()

@@ -1,0 +1,46 @@
+open Import
+
+(** Cell library for resource-constrained technology mapping.
+
+    The paper's outlook: with an online scheduler whose state can be
+    cheaply copied and queried, "polynomial time algorithms can be
+    constructed for … resource constrained technology mapping". A cell
+    fuses a small tree of operations into one vertex executed on one
+    unit; fusing trades operations for delay under the scheduler's
+    eyes. *)
+
+type pattern =
+  | Any  (** matches any producer — becomes an operand of the cell *)
+  | Node of Op.t * pattern list
+      (** an operation whose operands match the sub-patterns, in operand
+          order; non-root nodes must be single-consumer so they can be
+          fused away *)
+
+type t = {
+  name : string;
+  pattern : pattern;
+  fused : Op.t;  (** the op a mapped vertex carries, e.g. [Op.Mac] *)
+  operand_order : int list;
+      (** permutation mapping left-to-right pattern leaves to the fused
+          op's operand positions: leaf [i] becomes operand
+          [List.nth operand_order i] *)
+  delay : int;
+}
+
+val mac : t
+(** [a*b + c] as one multiplier-class cell of delay 2 — the addition is
+    absorbed into the multiplier's second cycle. *)
+
+val mac_commuted : t
+(** [c + a*b], same cell. *)
+
+val msu : t
+(** [c - a*b]. *)
+
+val default_library : t list
+
+val n_leaves : pattern -> int
+
+val validate : t -> (unit, string) result
+(** [operand_order] is a permutation of the leaves, the root is a
+    [Node], the fused op's arity equals the leaf count. *)

@@ -1,0 +1,1 @@
+lib/vliw/asm.ml: Array Buffer Hashtbl Import Isa List Op Printf String

@@ -1,0 +1,1 @@
+lib/vliw/asm.mli: Isa

@@ -1,0 +1,1 @@
+lib/vliw/emit.ml: Array Binding Graph Import Isa List Op Printf Rtl Schedule

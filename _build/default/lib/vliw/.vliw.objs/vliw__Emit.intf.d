@@ -1,0 +1,1 @@
+lib/vliw/emit.mli: Binding Import Isa

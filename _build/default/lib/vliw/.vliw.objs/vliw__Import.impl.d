@@ -1,0 +1,1 @@
+lib/vliw/import.ml: Dfg Hard Rtl

@@ -1,0 +1,1 @@
+lib/vliw/isa.ml: Array Hashtbl Import List Op Printf

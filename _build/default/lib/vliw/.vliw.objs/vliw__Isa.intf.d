@@ -1,0 +1,1 @@
+lib/vliw/isa.mli: Import Op

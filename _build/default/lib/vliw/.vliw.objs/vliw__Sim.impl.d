@@ -1,0 +1,1 @@
+lib/vliw/sim.ml: Array Eval Hashtbl Import Isa List Op Option Printf String

@@ -1,0 +1,1 @@
+lib/vliw/sim.mli: Eval Graph Import Isa

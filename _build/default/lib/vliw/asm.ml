@@ -1,0 +1,201 @@
+open Import
+
+exception Parse_error of string
+
+let operand_to_string = function
+  | Isa.Reg r -> Printf.sprintf "r%d" r
+  | Isa.Imm n -> Printf.sprintf "#%d" n
+  | Isa.Mem m -> Printf.sprintf "m%d" m
+  | Isa.Port p -> "$" ^ p
+
+let destination_to_string = function
+  | Isa.To_reg r -> Printf.sprintf "r%d" r
+  | Isa.To_mem m -> Printf.sprintf "m%d" m
+  | Isa.To_port p -> p
+  | Isa.Discard -> "_"
+
+let print (p : Isa.program) =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line ".slots %d" p.Isa.n_slots;
+  line ".registers %d" p.Isa.n_registers;
+  line ".mem %d" p.Isa.n_mem_slots;
+  line ".inputs %s" (String.concat " " p.Isa.inputs);
+  line ".outputs %s" (String.concat " " p.Isa.outputs);
+  Array.iteri
+    (fun cycle bundle ->
+      if bundle <> [] then begin
+        line "cycle %d:" cycle;
+        List.iter
+          (fun (i : Isa.instruction) ->
+            line "  s%d: %s <- %s %s @%d" i.Isa.slot
+              (destination_to_string i.Isa.dst)
+              (Op.to_string i.Isa.op)
+              (String.concat ", " (List.map operand_to_string i.Isa.srcs))
+              i.Isa.latency)
+          bundle
+      end)
+    p.Isa.bundles;
+  Buffer.contents buf
+
+(* --- parsing -------------------------------------------------------- *)
+
+let fail line msg = raise (Parse_error (Printf.sprintf "line %d: %s" line msg))
+
+let parse_operand lineno token =
+  let n = String.length token in
+  if n = 0 then fail lineno "empty operand"
+  else
+    match token.[0] with
+    | 'r' ->
+      (match int_of_string_opt (String.sub token 1 (n - 1)) with
+      | Some r -> Isa.Reg r
+      | None -> fail lineno ("bad register " ^ token))
+    | '#' ->
+      (match int_of_string_opt (String.sub token 1 (n - 1)) with
+      | Some v -> Isa.Imm v
+      | None -> fail lineno ("bad immediate " ^ token))
+    | 'm' ->
+      (match int_of_string_opt (String.sub token 1 (n - 1)) with
+      | Some m -> Isa.Mem m
+      | None -> fail lineno ("bad memory operand " ^ token))
+    | '$' -> Isa.Port (String.sub token 1 (n - 1))
+    | _ -> fail lineno ("unrecognised operand " ^ token)
+
+let parse_destination lineno ~outputs token =
+  let n = String.length token in
+  if token = "_" then Isa.Discard
+  else if List.mem token outputs then Isa.To_port token
+  else if n > 1 && token.[0] = 'r' then
+    match int_of_string_opt (String.sub token 1 (n - 1)) with
+    | Some r -> Isa.To_reg r
+    | None -> fail lineno ("bad destination " ^ token)
+  else if n > 1 && token.[0] = 'm' then
+    match int_of_string_opt (String.sub token 1 (n - 1)) with
+    | Some m -> Isa.To_mem m
+    | None -> fail lineno ("bad destination " ^ token)
+  else fail lineno ("unrecognised destination " ^ token)
+
+let words s =
+  List.filter (fun w -> w <> "") (String.split_on_char ' ' s)
+
+let parse text =
+  let n_slots = ref 0 and n_registers = ref 0 and n_mem = ref 0 in
+  let inputs = ref [] and outputs = ref [] in
+  let bundles : (int, Isa.instruction list) Hashtbl.t = Hashtbl.create 32 in
+  let current_cycle = ref (-1) in
+  let max_cycle = ref (-1) in
+  List.iteri
+    (fun index raw ->
+      let lineno = index + 1 in
+      let line = String.trim raw in
+      if line = "" then ()
+      else if String.length line > 0 && line.[0] = '.' then begin
+        match words line with
+        | ".slots" :: [ n ] -> n_slots := int_of_string n
+        | ".registers" :: [ n ] -> n_registers := int_of_string n
+        | ".mem" :: [ n ] -> n_mem := int_of_string n
+        | ".inputs" :: names -> inputs := names
+        | ".outputs" :: names -> outputs := names
+        | _ -> fail lineno ("bad directive " ^ line)
+      end
+      else if String.length line >= 6 && String.sub line 0 5 = "cycle" then begin
+        match words line with
+        | [ "cycle"; c ] when String.length c > 0 ->
+          let c = String.sub c 0 (String.length c - 1) in
+          (match int_of_string_opt c with
+          | Some c ->
+            current_cycle := c;
+            max_cycle := max !max_cycle c
+          | None -> fail lineno "bad cycle header")
+        | _ -> fail lineno "bad cycle header"
+      end
+      else begin
+        (* sN: dst <- op operands @lat *)
+        if !current_cycle < 0 then fail lineno "instruction before any cycle";
+        match String.index_opt line ':' with
+        | None -> fail lineno "missing slot"
+        | Some colon ->
+          let slot_text = String.sub line 0 colon in
+          let slot =
+            if String.length slot_text > 1 && slot_text.[0] = 's' then
+              match
+                int_of_string_opt
+                  (String.sub slot_text 1 (String.length slot_text - 1))
+              with
+              | Some s -> s
+              | None -> fail lineno ("bad slot " ^ slot_text)
+            else fail lineno ("bad slot " ^ slot_text)
+          in
+          let rest =
+            String.trim
+              (String.sub line (colon + 1) (String.length line - colon - 1))
+          in
+          (match String.index_opt rest '@' with
+          | None -> fail lineno "missing latency"
+          | Some at ->
+            let latency =
+              match
+                int_of_string_opt
+                  (String.trim
+                     (String.sub rest (at + 1) (String.length rest - at - 1)))
+              with
+              | Some l -> l
+              | None -> fail lineno "bad latency"
+            in
+            let body = String.trim (String.sub rest 0 at) in
+            (* dst <- op operands *)
+            let arrow =
+              let rec find i =
+                if i + 2 > String.length body then
+                  fail lineno "missing <-"
+                else if String.sub body i 2 = "<-" then i
+                else find (i + 1)
+              in
+              find 0
+            in
+            let dst_text = String.trim (String.sub body 0 arrow) in
+            let rhs =
+              String.trim
+                (String.sub body (arrow + 2) (String.length body - arrow - 2))
+            in
+            let op_text, operand_text =
+              match String.index_opt rhs ' ' with
+              | None -> (rhs, "")
+              | Some sp ->
+                ( String.sub rhs 0 sp,
+                  String.trim
+                    (String.sub rhs (sp + 1) (String.length rhs - sp - 1)) )
+            in
+            let op =
+              match Op.of_string op_text with
+              | Some op -> op
+              | None -> fail lineno ("unknown op " ^ op_text)
+            in
+            let srcs =
+              if operand_text = "" then []
+              else
+                List.map
+                  (fun token -> parse_operand lineno (String.trim token))
+                  (String.split_on_char ',' operand_text)
+            in
+            let dst = parse_destination lineno ~outputs:!outputs dst_text in
+            let instruction = { Isa.slot; op; latency; dst; srcs } in
+            Hashtbl.replace bundles !current_cycle
+              ((match Hashtbl.find_opt bundles !current_cycle with
+               | Some l -> l
+               | None -> [])
+              @ [ instruction ]))
+      end)
+    (String.split_on_char '\n' text);
+  let total = !max_cycle + 1 in
+  {
+    Isa.n_slots = !n_slots;
+    n_registers = !n_registers;
+    n_mem_slots = !n_mem;
+    bundles =
+      Array.init (max total 0) (fun c ->
+          match Hashtbl.find_opt bundles c with Some l -> l | None -> []);
+    inputs = !inputs;
+    outputs = !outputs;
+  }

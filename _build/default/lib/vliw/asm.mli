@@ -1,0 +1,27 @@
+(** Textual assembly for the VLIW target.
+
+    {v
+      .slots 6
+      .registers 8
+      .mem 1
+      .inputs x y
+      .outputs out
+      cycle 0:
+        s4: r0 <- in(x) $x @1
+      cycle 3:
+        s2: r4 <- mul r0, #7 @2
+        s0: m0 <- st r3 @1
+        s5: out <- out(out) r4 @1
+    v}
+
+    Destinations are [rN], [mN], a declared output-port name or [_];
+    sources are [rN], [#imm], [mN] or [$port]. [@"N"] is the latency. *)
+
+exception Parse_error of string
+
+val print : Isa.program -> string
+
+val parse : string -> Isa.program
+(** Inverse of {!print} ([parse (print p)] is structurally equal to
+    [p], asserted by a round-trip property). @raise Parse_error with a
+    line number on malformed input. *)

@@ -1,0 +1,95 @@
+open Import
+
+let destination_of binding g v =
+  match Graph.op g v with
+  | Op.Store ->
+    (match Binding.slot_of_store binding v with
+    | Some slot -> Isa.To_mem slot
+    | None -> invalid_arg "Vliw.Emit: store without a memory slot")
+  | Op.Output name -> Isa.To_port name
+  | _ ->
+    (match Binding.register_of binding v with
+    | Some r -> Isa.To_reg r
+    | None -> Isa.Discard)
+
+let source_of = function
+  | Binding.From_register r -> Isa.Reg r
+  | Binding.From_constant n -> Isa.Imm n
+  | Binding.From_memory slot -> Isa.Mem slot
+
+let run binding =
+  let schedule = binding.Binding.schedule in
+  let g = Schedule.graph schedule in
+  Graph.iter_vertices
+    (fun v ->
+      match Graph.op g v with
+      | Op.Input _ | Op.Const _ | Op.Output _ -> ()
+      | op ->
+        if Graph.delay g v = 0 then
+          invalid_arg
+            (Printf.sprintf "Vliw.Emit: zero-delay operation %s (%s)"
+               (Graph.name g v) (Op.to_string op)))
+    g;
+  let total = Schedule.length schedule + 2 in
+  (* bundle 0 = port loads; control step c = bundle c + 1 *)
+  let bundles = Array.make total [] in
+  let io_next = Array.make total 0 in
+  let n_fus = binding.Binding.n_fus in
+  let issue cycle instruction =
+    bundles.(cycle) <- bundles.(cycle) @ [ instruction ]
+  in
+  let io_slot cycle =
+    let s = n_fus + io_next.(cycle) in
+    io_next.(cycle) <- io_next.(cycle) + 1;
+    s
+  in
+  Graph.iter_vertices
+    (fun v ->
+      let op = Graph.op g v in
+      match op with
+      | Op.Const _ -> ()
+      | Op.Input name ->
+        issue 0
+          {
+            Isa.slot = io_slot 0;
+            op;
+            latency = 1;
+            dst = destination_of binding g v;
+            srcs = [ Isa.Port name ];
+          }
+      | Op.Output _ ->
+        let cycle = Schedule.start schedule v + 1 in
+        issue cycle
+          {
+            Isa.slot = io_slot cycle;
+            op;
+            latency = 1;
+            dst = destination_of binding g v;
+            srcs = List.map source_of (Binding.operand_sources binding v);
+          }
+      | op ->
+        let cycle = Schedule.start schedule v + 1 in
+        let slot =
+          match Binding.fu_of binding v with
+          | Some fu -> fu
+          | None -> io_slot cycle (* free op (wire/move pass-through) *)
+        in
+        issue cycle
+          {
+            Isa.slot;
+            op;
+            latency = Graph.delay g v;
+            dst = destination_of binding g v;
+            srcs = List.map source_of (Binding.operand_sources binding v);
+          })
+    g;
+  let io_width = Array.fold_left max 0 io_next in
+  let inputs, outputs = Rtl.Verilog.port_names binding in
+  {
+    Isa.n_slots = n_fus + io_width;
+    n_registers = max binding.Binding.n_registers 1;
+    n_mem_slots = List.length binding.Binding.memory_slot;
+    bundles;
+    inputs;
+    outputs;
+  }

@@ -1,0 +1,15 @@
+open Import
+
+(** Code generation: a scheduled and bound design becomes a VLIW
+    bundle program.
+
+    Bundle 0 loads the input ports; the operation scheduled at control
+    step [c] issues in bundle [c + 1]. Functional units map one-to-one
+    to issue slots; inputs, outputs and wire/move pass-throughs issue
+    on extra "io" slots (as many as the widest cycle needs). Constants
+    are immediate operands and cost nothing. *)
+
+val run : Binding.t -> Isa.program
+(** @raise Invalid_argument on a zero-delay resource operation (the
+    machine has no combinational issue). The result always passes
+    {!Isa.validate} (asserted in tests). *)

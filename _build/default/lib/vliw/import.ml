@@ -1,0 +1,7 @@
+module Graph = Dfg.Graph
+module Op = Dfg.Op
+module Eval = Dfg.Eval
+module Resources = Hard.Resources
+module Schedule = Hard.Schedule
+module Binding = Rtl.Binding
+module Fsm = Rtl.Fsm

@@ -1,0 +1,94 @@
+open Import
+
+type operand =
+  | Reg of int
+  | Imm of int
+  | Mem of int
+  | Port of string
+
+type destination =
+  | To_reg of int
+  | To_mem of int
+  | To_port of string
+  | Discard
+
+type instruction = {
+  slot : int;
+  op : Op.t;
+  latency : int;
+  dst : destination;
+  srcs : operand list;
+}
+
+type bundle = instruction list
+
+type program = {
+  n_slots : int;
+  n_registers : int;
+  n_mem_slots : int;
+  bundles : bundle array;
+  inputs : string list;
+  outputs : string list;
+}
+
+let validate p =
+  let problem = ref None in
+  let record m = if !problem = None then problem := Some m in
+  Array.iteri
+    (fun cycle bundle ->
+      let seen_slots = Hashtbl.create 8 in
+      List.iter
+        (fun i ->
+          if i.slot < 0 || i.slot >= p.n_slots then
+            record (Printf.sprintf "cycle %d: slot %d out of range" cycle i.slot);
+          if Hashtbl.mem seen_slots i.slot then
+            record (Printf.sprintf "cycle %d: slot %d double-issued" cycle i.slot);
+          Hashtbl.replace seen_slots i.slot ();
+          if i.latency < 1 then
+            record (Printf.sprintf "cycle %d: non-positive latency" cycle);
+          let expected =
+            match i.op with
+            | Op.Output _ -> 1 (* the value routed to the port *)
+            | Op.Input _ -> 1 (* the port being sampled *)
+            | op -> Op.arity op
+          in
+          if List.length i.srcs <> expected then
+            record
+              (Printf.sprintf "cycle %d: %s wants %d operands, has %d" cycle
+                 (Op.to_string i.op) expected (List.length i.srcs));
+          List.iter
+            (fun operand ->
+              match operand with
+              | Reg r ->
+                if r < 0 || r >= p.n_registers then
+                  record (Printf.sprintf "cycle %d: register %d out of range" cycle r)
+              | Mem m ->
+                if m < 0 || m >= p.n_mem_slots then
+                  record (Printf.sprintf "cycle %d: mem slot %d out of range" cycle m)
+              | Imm _ -> ()
+              | Port name ->
+                if not (List.mem name p.inputs) then
+                  record (Printf.sprintf "cycle %d: unknown port %s" cycle name))
+            i.srcs;
+          match i.dst with
+          | To_reg r ->
+            if r < 0 || r >= p.n_registers then
+              record (Printf.sprintf "cycle %d: dst register %d out of range" cycle r)
+          | To_mem m ->
+            if m < 0 || m >= p.n_mem_slots then
+              record (Printf.sprintf "cycle %d: dst mem %d out of range" cycle m)
+          | To_port name ->
+            if not (List.mem name p.outputs) then
+              record (Printf.sprintf "cycle %d: unknown output port %s" cycle name)
+          | Discard -> ())
+        bundle)
+    p.bundles;
+  match !problem with None -> Ok () | Some m -> Error m
+
+let n_instructions p =
+  Array.fold_left (fun acc b -> acc + List.length b) 0 p.bundles
+
+let slot_utilisation p =
+  let cells = p.n_slots * Array.length p.bundles in
+  if cells = 0 then 0.0
+  else float_of_int (n_instructions p) /. float_of_int cells

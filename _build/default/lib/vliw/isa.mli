@@ -1,0 +1,52 @@
+open Import
+
+(** A small VLIW target.
+
+    Section 1 of the paper names "VLIW code generation" as a domain
+    with the same phase-coupling disease; this backend closes the loop:
+    a scheduled + bound design becomes a bundle program — one bundle
+    per control step, one issue slot per functional unit — with a
+    textual assembly syntax and an executable semantics. *)
+
+type operand =
+  | Reg of int
+  | Imm of int
+  | Mem of int  (** spill slot *)
+  | Port of string  (** input port, read at issue *)
+
+type destination =
+  | To_reg of int
+  | To_mem of int
+  | To_port of string  (** output port *)
+  | Discard  (** dead value *)
+
+type instruction = {
+  slot : int;  (** issue slot = functional-unit index *)
+  op : Op.t;
+  latency : int;  (** cycles until the destination is written *)
+  dst : destination;
+  srcs : operand list;
+}
+
+type bundle = instruction list
+(** All instructions issued in one cycle; at most one per slot. *)
+
+type program = {
+  n_slots : int;
+  n_registers : int;
+  n_mem_slots : int;
+  bundles : bundle array;
+  inputs : string list;
+  outputs : string list;
+}
+
+val validate : program -> (unit, string) result
+(** Structural checks: slot indices in range and unique per bundle,
+    register/memory indices in range, operand counts match op arity
+    (output moves are unary), latencies positive for real ops. *)
+
+val n_instructions : program -> int
+
+val slot_utilisation : program -> float
+(** Fraction of (bundle × slot) positions actually issuing — the
+    classic VLIW density metric. *)

@@ -1,0 +1,82 @@
+open Import
+
+let run (p : Isa.program) ~env =
+  let registers = Array.make (max p.Isa.n_registers 1) 0 in
+  let memory = Array.make (max p.Isa.n_mem_slots 1) 0 in
+  let ports = Hashtbl.create 8 in
+  (* (cycle -> pending commits) *)
+  let pending : (int, (Isa.destination * int) list) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  let queue_write cycle dst value =
+    let existing =
+      match Hashtbl.find_opt pending cycle with Some l -> l | None -> []
+    in
+    Hashtbl.replace pending cycle ((dst, value) :: existing)
+  in
+  let commit cycle =
+    match Hashtbl.find_opt pending cycle with
+    | None -> ()
+    | Some writes ->
+      Hashtbl.remove pending cycle;
+      (* detect same-destination collisions in one cycle *)
+      let seen = Hashtbl.create 8 in
+      List.iter
+        (fun (dst, value) ->
+          (match dst with
+          | Isa.To_reg r | Isa.To_mem r ->
+            let key = (dst = Isa.To_mem r, r) in
+            if Hashtbl.mem seen key then
+              failwith "Vliw.Sim: write collision";
+            Hashtbl.replace seen key ()
+          | _ -> ());
+          match dst with
+          | Isa.To_reg r -> registers.(r) <- value
+          | Isa.To_mem m -> memory.(m) <- value
+          | Isa.To_port name -> Hashtbl.replace ports name value
+          | Isa.Discard -> ())
+        writes
+  in
+  let read = function
+    | Isa.Reg r -> registers.(r)
+    | Isa.Imm n -> n
+    | Isa.Mem m -> memory.(m)
+    | Isa.Port name -> List.assoc name env
+  in
+  let horizon =
+    Array.length p.Isa.bundles
+    + Array.fold_left
+        (fun acc bundle ->
+          List.fold_left (fun acc i -> max acc i.Isa.latency) acc bundle)
+        1 p.Isa.bundles
+  in
+  for cycle = 0 to horizon do
+    commit cycle;
+    if cycle < Array.length p.Isa.bundles then
+      List.iter
+        (fun (i : Isa.instruction) ->
+          let value =
+            match i.Isa.op, i.Isa.srcs with
+            | Op.Input name, _ -> List.assoc name env
+            | Op.Output _, [ src ] -> read src
+            | op, srcs -> Op.eval op (List.map read srcs)
+          in
+          queue_write (cycle + i.Isa.latency) i.Isa.dst value)
+        p.Isa.bundles.(cycle)
+  done;
+  List.filter_map
+    (fun name ->
+      Option.map (fun v -> (name, v)) (Hashtbl.find_opt ports name))
+    p.Isa.outputs
+
+let check_against_graph p g ~env =
+  let expected = List.sort compare (Eval.outputs g env) in
+  let actual = List.sort compare (run p ~env) in
+  if expected = actual then Ok ()
+  else
+    Error
+      (Printf.sprintf "vliw mismatch: expected {%s} got {%s}"
+         (String.concat "; "
+            (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) expected))
+         (String.concat "; "
+            (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) actual)))

@@ -1,0 +1,15 @@
+open Import
+
+(** Executable semantics of the VLIW target: a register file, the spill
+    memory and in-flight latency tracking. The check that matters:
+    executing the {e emitted text} reproduces the dataflow semantics of
+    the source graph. *)
+
+val run : Isa.program -> env:Eval.env -> (string * int) list
+(** Output-port values after the last bundle drains.
+    @raise Not_found for a missing input port value.
+    @raise Failure on a structural error during execution (e.g. a
+    write-after-write collision in the same cycle). *)
+
+val check_against_graph :
+  Isa.program -> Graph.t -> env:Eval.env -> (unit, string) result

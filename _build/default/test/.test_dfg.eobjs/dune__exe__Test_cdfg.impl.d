@@ -1,0 +1,1 @@
+test/test_cdfg.ml: Alcotest Array Cdfg Hard Ir List Printf QCheck QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_dfg.ml: Alcotest Array Dfg Hashtbl Hls_bench List Printf QCheck QCheck_alcotest Random String

@@ -1,0 +1,1 @@
+test/test_faults.ml: Alcotest Array Dfg Hard Hls_bench List Refine Rtl Soft

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Dfg Filename Fun Hard Hls_bench Ir List Printf Random Refine Rtl Soft Sys Vliw

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Dfg Format Hard Ir List Printf QCheck QCheck_alcotest Random Soft String

@@ -1,0 +1,1 @@
+test/test_refine.ml: Alcotest Array Dfg Hard Hashtbl Hls_bench List Printf QCheck QCheck_alcotest Random Refine Soft

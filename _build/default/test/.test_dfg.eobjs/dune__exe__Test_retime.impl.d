@@ -1,0 +1,1 @@
+test/test_retime.ml: Alcotest Array Dfg Hard List Printf QCheck QCheck_alcotest Retime Soft

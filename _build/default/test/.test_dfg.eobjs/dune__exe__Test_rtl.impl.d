@@ -1,0 +1,1 @@
+test/test_rtl.ml: Alcotest Bytes Dfg Format Hard Hashtbl Hls_bench Ir List Option Printf QCheck QCheck_alcotest Random Refine Rtl Soft String

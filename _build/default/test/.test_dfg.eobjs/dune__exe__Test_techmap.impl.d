@@ -1,0 +1,1 @@
+test/test_techmap.ml: Alcotest Dfg Hard Hashtbl Hls_bench List Option Printf QCheck QCheck_alcotest Random Rtl Soft Techmap

@@ -1,0 +1,1 @@
+test/test_vliw.ml: Alcotest Array Dfg Hard Hashtbl Hls_bench List QCheck QCheck_alcotest Random Refine Rtl Soft Vliw

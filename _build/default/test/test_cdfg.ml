@@ -1,0 +1,257 @@
+(* Tests for the multi-block CDFG flow. *)
+
+module A = Ir.Ast
+module P = Ir.Parser
+module Cfg = Cdfg.Cfg
+module BS = Cdfg.Block_sched
+module R = Hard.Resources
+
+let check = Alcotest.check
+let two_two = R.fig3_2alu_2mul
+
+let branchy_source =
+  "input a, b, c; output y, z;\n\
+   t = a * b + c;\n\
+   if (t < 0) { y = 0 - t; z = t * t; }\n\
+   else { y = t; if (b < c) { z = t + b; } else { z = t + c; } }"
+
+(* --- construction ---------------------------------------------------- *)
+
+let test_cfg_shape () =
+  let cfg = Cfg.of_ast (P.parse branchy_source) in
+  check Alcotest.int "blocks" 6 (Cfg.n_blocks cfg);
+  (* entry is block 0 and it branches *)
+  (match cfg.Cfg.blocks.(0).Cfg.terminator with
+  | Cfg.Branch (_, _, _) -> ()
+  | _ -> Alcotest.fail "entry should branch");
+  (* exactly one exit *)
+  let exits =
+    Array.to_list cfg.Cfg.blocks
+    |> List.filter (fun b -> b.Cfg.terminator = Cfg.Exit)
+  in
+  check Alcotest.int "one exit" 1 (List.length exits)
+
+let test_cfg_straight_line_single_block () =
+  let cfg =
+    Cfg.of_ast (P.parse "input a, b; output y; y = a * b + a - b;")
+  in
+  (* one body block + the exit block *)
+  check Alcotest.int "two blocks" 2 (Cfg.n_blocks cfg)
+
+let test_cfg_repeat_unrolls_blocks () =
+  let cfg =
+    Cfg.of_ast
+      (P.parse
+         "input a; output y; y = a;\n\
+          repeat 3 { if (y < 100) { y = y * 2; } else { y = y + 1; } }")
+  in
+  (* 3 diamonds: each contributes branch-head/then/else; plus entry
+     assignments merge into the first head and one exit block *)
+  check Alcotest.bool "unrolled"
+    true
+    (Cfg.n_blocks cfg >= 10)
+
+let test_cfg_dense_ids () =
+  let cfg = Cfg.of_ast (P.parse branchy_source) in
+  Array.iteri
+    (fun i b -> check Alcotest.int "dense id" i b.Cfg.id)
+    cfg.Cfg.blocks;
+  Array.iter
+    (fun b ->
+      List.iter
+        (fun s ->
+          check Alcotest.bool "target in range" true
+            (s >= 0 && s < Cfg.n_blocks cfg))
+        (Cfg.successors b))
+    cfg.Cfg.blocks
+
+(* --- liveness --------------------------------------------------------- *)
+
+let test_liveness_entry_needs_only_inputs () =
+  let ast = P.parse branchy_source in
+  let cfg = Cfg.of_ast ast in
+  let live = Cfg.live_sets cfg in
+  let entry_in, _ = live.(0) in
+  List.iter
+    (fun v ->
+      check Alcotest.bool
+        (Printf.sprintf "%s is a program input" v)
+        true
+        (List.mem v ast.A.inputs))
+    entry_in
+
+let test_liveness_exit_covers_outputs () =
+  let ast = P.parse branchy_source in
+  let cfg = Cfg.of_ast ast in
+  let live = Cfg.live_sets cfg in
+  let exit_id =
+    let found = ref (-1) in
+    Array.iter
+      (fun b -> if b.Cfg.terminator = Cfg.Exit then found := b.Cfg.id)
+      cfg.Cfg.blocks;
+    !found
+  in
+  let live_in, _ = live.(exit_id) in
+  List.iter
+    (fun o ->
+      check Alcotest.bool (o ^ " live into exit") true (List.mem o live_in))
+    ast.A.outputs
+
+(* --- interpretation --------------------------------------------------- *)
+
+let test_interp_matches_ast () =
+  let ast = P.parse branchy_source in
+  let cfg = Cfg.of_ast ast in
+  List.iter
+    (fun env ->
+      check
+        Alcotest.(list (pair string int))
+        "cfg = ast"
+        (List.sort compare (Ir.Interp.run ast env))
+        (List.sort compare (Cfg.interp cfg env)))
+    [
+      [ ("a", -3); ("b", 4); ("c", 5) ];
+      [ ("a", 3); ("b", 4); ("c", 2) ];
+      [ ("a", 3); ("b", 1); ("c", 9) ];
+      [ ("a", 0); ("b", 0); ("c", 0) ];
+    ]
+
+(* reuse the front-end random program generator shape *)
+let random_program seed =
+  let rng = Random.State.make [| seed |] in
+  let inputs = [ "i0"; "i1"; "i2" ] in
+  let vars = ref inputs in
+  let pick l = List.nth l (Random.State.int rng (List.length l)) in
+  let rec expr depth =
+    if depth = 0 || Random.State.int rng 3 = 0 then
+      if Random.State.bool rng then A.Var (pick !vars)
+      else A.Int (Random.State.int rng 19 - 9)
+    else
+      A.Binop
+        ( pick [ A.Add; A.Sub; A.Mul; A.Lt; A.Xor ],
+          expr (depth - 1),
+          expr (depth - 1) )
+  in
+  let counter = ref 0 in
+  let fresh () =
+    incr counter;
+    Printf.sprintf "t%d" !counter
+  in
+  let rec stmts budget =
+    if budget = 0 then []
+    else if Random.State.int rng 3 = 0 then begin
+      let x = fresh () in
+      let s =
+        A.If (expr 2, [ A.Assign (x, expr 2) ], [ A.Assign (x, expr 2) ])
+      in
+      vars := x :: !vars;
+      s :: stmts (budget - 1)
+    end
+    else begin
+      let x = fresh () in
+      let s = A.Assign (x, expr 3) in
+      vars := x :: !vars;
+      s :: stmts (budget - 1)
+    end
+  in
+  let body = stmts (3 + Random.State.int rng 5) in
+  let last = Printf.sprintf "t%d" !counter in
+  { A.inputs; outputs = [ "result" ];
+    body = body @ [ A.Assign ("result", A.Var last) ] }
+
+let prop_cfg_interp_equivalence =
+  QCheck.Test.make ~name:"CFG execution = AST interpretation" ~count:150
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let ast = random_program seed in
+      match A.validate ast with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok () ->
+        let cfg = Cfg.of_ast ast in
+        let env = [ ("i0", 3); ("i1", -2); ("i2", 7) ] in
+        List.sort compare (Ir.Interp.run ast env)
+        = List.sort compare (Cfg.interp cfg env))
+
+(* --- scheduling -------------------------------------------------------- *)
+
+let test_block_schedules_valid () =
+  let cfg = Cfg.of_ast (P.parse branchy_source) in
+  let report = BS.run ~resources:two_two cfg in
+  check Alcotest.int "one csteps entry per block" (Cfg.n_blocks cfg)
+    (Array.length report.BS.block_csteps);
+  check Alcotest.bool "worst >= any block" true
+    (Array.for_all
+       (fun c -> c <= report.BS.worst_case_latency)
+       report.BS.block_csteps)
+
+let test_versus_if_conversion_sanity () =
+  let ast = P.parse branchy_source in
+  let cmp = BS.versus_if_conversion ~resources:two_two ast in
+  check Alcotest.bool "best <= worst" true
+    (cmp.BS.multi_block_best <= cmp.BS.multi_block_worst);
+  check Alcotest.bool "blocks counted" true (cmp.BS.blocks >= 4);
+  check Alcotest.bool "everything positive" true
+    (cmp.BS.superblock_csteps > 0 && cmp.BS.multi_block_best > 0)
+
+let test_multi_block_wins_under_scarce_resources () =
+  (* speculation executes both branch bodies; with a single multiplier
+     and multiply-heavy branches, branching should beat if-conversion
+     on the worst-case path *)
+  let src =
+    "input a, b; output y;\n\
+     if (a < b) { y = a * a * a * a; } else { y = b * b * b * b; }"
+  in
+  let resources = R.make [ (R.Alu, 1); (R.Multiplier, 1) ] in
+  let cmp = BS.versus_if_conversion ~resources (P.parse src) in
+  check Alcotest.bool
+    (Printf.sprintf "multi %d < super %d" cmp.BS.multi_block_worst
+       cmp.BS.superblock_csteps)
+    true
+    (cmp.BS.multi_block_worst < cmp.BS.superblock_csteps)
+
+let prop_block_schedules_always_valid =
+  QCheck.Test.make ~name:"every block schedule is resource-valid" ~count:60
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let ast = random_program seed in
+      match A.validate ast with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok () ->
+        let cfg = Cfg.of_ast ast in
+        (* run raises on an invalid block schedule *)
+        let report = BS.run ~resources:two_two cfg in
+        report.BS.worst_case_latency >= 0)
+
+let () =
+  Alcotest.run "cdfg"
+    [
+      ( "construction",
+        [
+          Alcotest.test_case "shape" `Quick test_cfg_shape;
+          Alcotest.test_case "straight line" `Quick
+            test_cfg_straight_line_single_block;
+          Alcotest.test_case "repeat unrolls" `Quick
+            test_cfg_repeat_unrolls_blocks;
+          Alcotest.test_case "dense ids" `Quick test_cfg_dense_ids;
+        ] );
+      ( "liveness",
+        [
+          Alcotest.test_case "entry" `Quick
+            test_liveness_entry_needs_only_inputs;
+          Alcotest.test_case "exit" `Quick test_liveness_exit_covers_outputs;
+        ] );
+      ( "interp",
+        [ Alcotest.test_case "matches ast" `Quick test_interp_matches_ast ] );
+      ( "scheduling",
+        [
+          Alcotest.test_case "blocks valid" `Quick test_block_schedules_valid;
+          Alcotest.test_case "vs if-conversion" `Quick
+            test_versus_if_conversion_sanity;
+          Alcotest.test_case "scarce resources favour branching" `Quick
+            test_multi_block_wins_under_scarce_resources;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_cfg_interp_equivalence; prop_block_schedules_always_valid ]
+      );
+    ]

@@ -1,0 +1,199 @@
+(* Tests for the retiming substrate and the resource-constrained
+   retimer (paper outlook #2). *)
+
+module SG = Retime.Seq_graph
+module W = Retime.Workloads
+module R = Hard.Resources
+
+let check = Alcotest.check
+let two_two = R.fig3_2alu_2mul
+
+(* --- Seq_graph ------------------------------------------------------ *)
+
+let tiny () =
+  (* a -> b (0 regs), b -> a (2 regs): a legal 2-vertex loop *)
+  let g = SG.create () in
+  let a = SG.add_vertex g ~name:"a" Dfg.Op.Add in
+  let b = SG.add_vertex g ~name:"b" Dfg.Op.Mul in
+  SG.add_edge g a b ~weight:0;
+  SG.add_edge g b a ~weight:2;
+  (g, a, b)
+
+let test_seq_graph_basics () =
+  let g, a, b = tiny () in
+  check Alcotest.int "vertices" 2 (SG.n_vertices g);
+  check Alcotest.int "registers" 2 (SG.total_registers g);
+  check Alcotest.(list (pair int int)) "succs a" [ (b, 0) ] (SG.succs g a);
+  check Alcotest.(list (pair int int)) "preds a" [ (b, 2) ] (SG.preds g a);
+  check Alcotest.bool "well formed" true (SG.well_formed g = Ok ())
+
+let test_seq_graph_rejects () =
+  let g = SG.create () in
+  let a = SG.add_vertex g Dfg.Op.Add in
+  Alcotest.check_raises "negative weight"
+    (Invalid_argument "Seq_graph.add_edge: negative weight") (fun () ->
+      SG.add_edge g a a ~weight:(-1));
+  Alcotest.check_raises "zero self loop"
+    (Invalid_argument "Seq_graph.add_edge: zero-weight self loop") (fun () ->
+      SG.add_edge g a a ~weight:0)
+
+let test_combinational_loop_detected () =
+  let g = SG.create () in
+  let a = SG.add_vertex g Dfg.Op.Add in
+  let b = SG.add_vertex g Dfg.Op.Add in
+  SG.add_edge g a b ~weight:0;
+  SG.add_edge g b a ~weight:0;
+  check Alcotest.bool "ill formed" true (SG.well_formed g <> Ok ())
+
+let test_combinational_slice () =
+  let g, _, _ = tiny () in
+  let dag, map = SG.combinational_slice g in
+  check Alcotest.bool "dag" true (Dfg.Graph.is_dag dag);
+  (* 2 ops + 1 register-input pseudo vertex *)
+  check Alcotest.int "slice vertices" 3 (Dfg.Graph.n_vertices dag);
+  check Alcotest.int "period = a+b delay" 3 (SG.combinational_period g);
+  check Alcotest.int "map size" 2 (Array.length map)
+
+let test_retime_legality () =
+  let g, _, _ = tiny () in
+  (* moving one register from b->a onto a->b *)
+  let r = SG.retime g ~lag:[| 0; 1 |] in
+  check Alcotest.int "registers conserved" 2 (SG.total_registers r);
+  check Alcotest.int "period drops" 2 (SG.combinational_period r);
+  Alcotest.check_raises "illegal lag"
+    (Invalid_argument "Seq_graph.retime: edge a -> b gets weight -1")
+    (fun () -> ignore (SG.retime g ~lag:[| 1; 0 |]))
+
+let test_retime_bad_lag_size () =
+  let g, _, _ = tiny () in
+  (try
+     ignore (SG.retime g ~lag:[| 0 |]);
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ())
+
+(* --- workloads ------------------------------------------------------ *)
+
+let test_workload_shapes () =
+  let ring = W.ring ~ops:8 ~registers:2 in
+  check Alcotest.bool "ring well formed" true (SG.well_formed ring = Ok ());
+  check Alcotest.int "ring registers" 2 (SG.total_registers ring);
+  let correlator = W.correlator ~taps:6 in
+  check Alcotest.bool "correlator well formed" true
+    (SG.well_formed correlator = Ok ());
+  let pipeline = W.pipeline ~stages:5 ~slack_registers:2 in
+  check Alcotest.bool "pipeline well formed" true
+    (SG.well_formed pipeline = Ok ())
+
+(* --- retimer -------------------------------------------------------- *)
+
+let test_min_period_ring () =
+  (* 8 ops alternating mul(2)/add(1): total delay 12, 2 registers; the
+     cycle bound is ceil(12/2) = 6 and FEAS must reach it. *)
+  let g = W.ring ~ops:8 ~registers:2 in
+  let period, lag = Retime.Retimer.min_period g in
+  check Alcotest.int "min period" 6 period;
+  let retimed = SG.retime g ~lag in
+  check Alcotest.int "achieved" 6 (SG.combinational_period retimed);
+  check Alcotest.int "registers conserved" 2 (SG.total_registers retimed)
+
+let test_min_period_pipeline () =
+  (* 5 stages of mul+add = 15 delay, 2 slack registers: best split is
+     ceil over three segments >= 5; FEAS should get close to 5..6 *)
+  let g = W.pipeline ~stages:5 ~slack_registers:2 in
+  let period, _ = Retime.Retimer.min_period g in
+  check Alcotest.bool (Printf.sprintf "period %d in [5, 7]" period) true
+    (period >= 5 && period <= 7)
+
+let test_feas_infeasible () =
+  let g = W.ring ~ops:8 ~registers:2 in
+  (* below the cycle bound of 6 no retiming exists *)
+  check Alcotest.bool "period 5 infeasible" true
+    (Retime.Retimer.feas g ~period:5 = None)
+
+let test_constrained_never_regresses () =
+  List.iter
+    (fun (name, g) ->
+      let o = Retime.Retimer.constrained ~resources:two_two g in
+      check Alcotest.bool
+        (Printf.sprintf "%s csteps %d <= %d" name o.Retime.Retimer.csteps_after
+           o.Retime.Retimer.csteps_before)
+        true
+        (o.Retime.Retimer.csteps_after <= o.Retime.Retimer.csteps_before))
+    [
+      ("ring8x2", W.ring ~ops:8 ~registers:2);
+      ("ring12x3", W.ring ~ops:12 ~registers:3);
+      ("correlator6", W.correlator ~taps:6);
+      ("pipeline5+2", W.pipeline ~stages:5 ~slack_registers:2);
+    ]
+
+let test_constrained_respects_resources () =
+  (* With only one multiplier the schedule-driven choice can differ
+     from the pure-period optimum: verify the reported csteps are real
+     (re-schedule the chosen retiming and compare). *)
+  let resources = R.make [ (R.Alu, 1); (R.Multiplier, 1) ] in
+  let g = W.ring ~ops:12 ~registers:3 in
+  let o = Retime.Retimer.constrained ~resources g in
+  let dag, _ =
+    SG.combinational_slice (SG.retime g ~lag:o.Retime.Retimer.lag)
+  in
+  let s = Soft.Scheduler.run_to_schedule ~resources dag in
+  check Alcotest.int "reported = recomputed" o.Retime.Retimer.csteps_after
+    (Hard.Schedule.length s);
+  check Alcotest.bool "valid" true
+    (Hard.Schedule.check ~resources s = Ok ())
+
+let prop_retiming_conserves_cycle_registers =
+  QCheck.Test.make ~name:"retiming conserves registers on the ring cycle"
+    ~count:40
+    QCheck.(pair (int_range 2 12) (int_range 1 4))
+    (fun (ops, registers) ->
+      let g = W.ring ~ops ~registers in
+      match Retime.Retimer.min_period g with
+      | _, lag ->
+        SG.total_registers (SG.retime g ~lag) = registers)
+
+let prop_feas_meets_target =
+  QCheck.Test.make ~name:"FEAS results meet their target period" ~count:40
+    QCheck.(pair (int_range 2 12) (int_range 1 4))
+    (fun (ops, registers) ->
+      let g = W.ring ~ops ~registers in
+      let upper = SG.combinational_period g in
+      List.for_all
+        (fun period ->
+          match Retime.Retimer.feas g ~period with
+          | None -> true
+          | Some lag ->
+            SG.combinational_period (SG.retime g ~lag) <= period)
+        (List.init (max 0 (upper - 1)) (fun i -> i + 1)))
+
+let () =
+  Alcotest.run "retime"
+    [
+      ( "seq-graph",
+        [
+          Alcotest.test_case "basics" `Quick test_seq_graph_basics;
+          Alcotest.test_case "rejects" `Quick test_seq_graph_rejects;
+          Alcotest.test_case "combinational loop" `Quick
+            test_combinational_loop_detected;
+          Alcotest.test_case "slice" `Quick test_combinational_slice;
+          Alcotest.test_case "retime legality" `Quick test_retime_legality;
+          Alcotest.test_case "bad lag" `Quick test_retime_bad_lag_size;
+        ] );
+      ( "workloads",
+        [ Alcotest.test_case "shapes" `Quick test_workload_shapes ] );
+      ( "retimer",
+        [
+          Alcotest.test_case "ring min period" `Quick test_min_period_ring;
+          Alcotest.test_case "pipeline min period" `Quick
+            test_min_period_pipeline;
+          Alcotest.test_case "infeasible target" `Quick test_feas_infeasible;
+          Alcotest.test_case "never regresses" `Quick
+            test_constrained_never_regresses;
+          Alcotest.test_case "resources respected" `Quick
+            test_constrained_respects_resources;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_retiming_conserves_cycle_registers; prop_feas_meets_target ]
+      );
+    ]

@@ -1,0 +1,251 @@
+(* Tests for the technology-mapping kernel (paper outlook #1). *)
+
+module Graph = Dfg.Graph
+module Op = Dfg.Op
+module Generate = Dfg.Generate
+module R = Hard.Resources
+module Cell = Techmap.Cell
+module Cover = Techmap.Cover
+module Mapper = Techmap.Mapper
+
+let check = Alcotest.check
+let two_two = R.fig3_2alu_2mul
+
+let bench_env g =
+  List.filter_map
+    (fun v ->
+      match Graph.op g v with
+      | Op.Input n -> Some (n, (Hashtbl.hash n mod 15) - 7)
+      | _ -> None)
+    (Graph.vertices g)
+
+(* y = a*b + c, the canonical mac shape *)
+let mac_graph () =
+  let g = Graph.create () in
+  let a = Graph.add_vertex g ~name:"a" (Op.Input "a") in
+  let b = Graph.add_vertex g ~name:"b" (Op.Input "b") in
+  let c = Graph.add_vertex g ~name:"c" (Op.Input "c") in
+  let m = Graph.add_vertex g ~name:"m" Op.Mul in
+  Graph.add_edge g a m;
+  Graph.add_edge g b m;
+  let s = Graph.add_vertex g ~name:"s" Op.Add in
+  Graph.add_edge g m s;
+  Graph.add_edge g c s;
+  let o = Graph.add_vertex g ~name:"y" (Op.Output "y") in
+  Graph.add_edge g s o;
+  (g, m, s)
+
+(* --- cells ---------------------------------------------------------- *)
+
+let test_cells_validate () =
+  List.iter
+    (fun cell ->
+      check Alcotest.bool cell.Cell.name true (Cell.validate cell = Ok ()))
+    Cell.default_library
+
+let test_cell_leaves () =
+  check Alcotest.int "mac leaves" 3 (Cell.n_leaves Cell.mac.Cell.pattern);
+  check Alcotest.int "any" 1 (Cell.n_leaves Cell.Any)
+
+let test_cell_validate_rejects () =
+  let bad = { Cell.mac with Cell.operand_order = [ 0; 0; 2 ] } in
+  check Alcotest.bool "bad permutation" true (Cell.validate bad <> Ok ());
+  let bad2 = { Cell.mac with Cell.delay = 0 } in
+  check Alcotest.bool "bad delay" true (Cell.validate bad2 <> Ok ())
+
+(* --- cover ---------------------------------------------------------- *)
+
+let test_match_at_mac () =
+  let g, m, s = mac_graph () in
+  match Cover.match_at g Cell.mac s with
+  | Some found ->
+    check Alcotest.int "root" s found.Cover.root;
+    check Alcotest.(list int) "fused away" [ m ] found.Cover.fused_away;
+    check Alcotest.(list int) "operands abc" [ 0; 1; 2 ] found.Cover.operands
+  | None -> Alcotest.fail "expected a mac match"
+
+let test_match_rejects_shared_intermediate () =
+  (* if the mul result is also read elsewhere, fusing would lose it *)
+  let g, m, s = mac_graph () in
+  let extra = Graph.add_vertex g ~name:"extra" Op.Neg in
+  Graph.add_edge g m extra;
+  check Alcotest.bool "no match" true (Cover.match_at g Cell.mac s = None)
+
+let test_match_commuted () =
+  (* y = c + a*b matches mac' with permuted operands *)
+  let g = Graph.create () in
+  let a = Graph.add_vertex g ~name:"a" (Op.Input "a") in
+  let b = Graph.add_vertex g ~name:"b" (Op.Input "b") in
+  let c = Graph.add_vertex g ~name:"c" (Op.Input "c") in
+  let m = Graph.add_vertex g ~name:"m" Op.Mul in
+  Graph.add_edge g a m;
+  Graph.add_edge g b m;
+  let s = Graph.add_vertex g ~name:"s" Op.Add in
+  Graph.add_edge g c s;
+  Graph.add_edge g m s;
+  (match Cover.match_at g Cell.mac_commuted s with
+  | Some found ->
+    check Alcotest.(list int) "operands a b c" [ a; b; c ]
+      found.Cover.operands
+  | None -> Alcotest.fail "expected mac' match");
+  check Alcotest.bool "plain mac does not fire" true
+    (Cover.match_at g Cell.mac s = None)
+
+let test_all_matches_on_hal () =
+  let g = (Hls_bench.Suite.find "HAL").build () in
+  let matches = Cover.all_matches g in
+  check Alcotest.bool "found some" true (matches <> [])
+
+(* --- mapper --------------------------------------------------------- *)
+
+let test_apply_matches_semantics () =
+  let g, _, s = mac_graph () in
+  let m = Option.get (Cover.match_at g Cell.mac s) in
+  let result = Mapper.apply_matches g [ m ] in
+  check Alcotest.bool "dag" true (Graph.is_dag result.Mapper.mapped);
+  check Alcotest.int "one vertex fewer"
+    (Graph.n_vertices g - 1)
+    (Graph.n_vertices result.Mapper.mapped);
+  let env = [ ("a", 3); ("b", 4); ("c", 5) ] in
+  check
+    Alcotest.(list (pair string int))
+    "same outputs"
+    (Dfg.Eval.outputs g env)
+    (Dfg.Eval.outputs result.Mapper.mapped env)
+
+let test_apply_matches_rejects_overlap () =
+  let g, _, s = mac_graph () in
+  let m = Option.get (Cover.match_at g Cell.mac s) in
+  (try
+     ignore (Mapper.apply_matches g [ m; m ]);
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ())
+
+let test_greedy_and_driven_preserve_semantics () =
+  List.iter
+    (fun name ->
+      let g = (Hls_bench.Suite.find name).build () in
+      let env = bench_env g in
+      let expected = List.sort compare (Dfg.Eval.outputs g env) in
+      let greedy = Mapper.greedy g in
+      check
+        Alcotest.(list (pair string int))
+        (name ^ " greedy semantics") expected
+        (List.sort compare (Dfg.Eval.outputs greedy.Mapper.mapped env));
+      let driven = Mapper.schedule_driven ~resources:two_two g in
+      check
+        Alcotest.(list (pair string int))
+        (name ^ " driven semantics") expected
+        (List.sort compare (Dfg.Eval.outputs driven.Mapper.mapped env)))
+    [ "HAL"; "AR"; "EF"; "FIR"; "IIR" ]
+
+let test_schedule_driven_never_regresses () =
+  List.iter
+    (fun name ->
+      let g = (Hls_bench.Suite.find name).build () in
+      let before = Soft.Scheduler.csteps ~resources:two_two g in
+      let driven = Mapper.schedule_driven ~resources:two_two g in
+      let after = Mapper.csteps ~resources:two_two driven in
+      check Alcotest.bool
+        (Printf.sprintf "%s: %d <= %d" name after before)
+        true (after <= before))
+    [ "HAL"; "AR"; "EF"; "FIR"; "DCT"; "IIR" ]
+
+let test_schedule_driven_beats_greedy_or_ties () =
+  (* The kernel-driven mapper may fuse fewer cells but never schedules
+     worse than the structure-only greedy mapper. *)
+  List.iter
+    (fun name ->
+      let g = (Hls_bench.Suite.find name).build () in
+      let greedy = Mapper.csteps ~resources:two_two (Mapper.greedy g) in
+      let driven =
+        Mapper.csteps ~resources:two_two
+          (Mapper.schedule_driven ~resources:two_two g)
+      in
+      check Alcotest.bool
+        (Printf.sprintf "%s: driven %d <= greedy %d" name driven greedy)
+        true (driven <= greedy))
+    [ "HAL"; "AR"; "EF"; "FIR"; "IIR" ]
+
+let test_mapped_design_simulates () =
+  let g = (Hls_bench.Suite.find "HAL").build () in
+  let driven = Mapper.schedule_driven ~resources:two_two g in
+  let state = Soft.Scheduler.run ~resources:two_two driven.Mapper.mapped in
+  let binding = Rtl.Binding.of_state state in
+  let env = [ ("x", 2); ("y", 3); ("u", 4); ("dx", 5); ("a", 10) ] in
+  match Rtl.Sim.check_against_eval binding ~env with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+let prop_mapping_preserves_semantics =
+  QCheck.Test.make ~name:"mapping random graphs preserves outputs" ~count:60
+    QCheck.(pair (int_range 1 5) (int_range 0 10_000))
+    (fun (depth, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let g = Generate.expression_tree rng ~depth in
+      (* add output markers so Eval.outputs is meaningful *)
+      List.iter
+        (fun v ->
+          if Graph.succs g v = [] then begin
+            let o =
+              Graph.add_vertex g ~name:"out" (Op.Output "out")
+            in
+            Graph.add_edge g v o
+          end)
+        (Graph.vertices g);
+      let env = bench_env g in
+      let expected = List.sort compare (Dfg.Eval.outputs g env) in
+      let greedy = Mapper.greedy g in
+      expected
+      = List.sort compare (Dfg.Eval.outputs greedy.Mapper.mapped env))
+
+let prop_mapped_graphs_schedule_validly =
+  QCheck.Test.make ~name:"mapped graphs produce valid schedules" ~count:40
+    QCheck.(pair (int_range 2 20) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let g = Generate.random_dag rng ~n ~edge_prob:0.3 in
+      let result = Mapper.greedy g in
+      let s =
+        Soft.Scheduler.run_to_schedule ~resources:two_two result.Mapper.mapped
+      in
+      Hard.Schedule.check ~resources:two_two s = Ok ())
+
+let () =
+  Alcotest.run "techmap"
+    [
+      ( "cells",
+        [
+          Alcotest.test_case "library validates" `Quick test_cells_validate;
+          Alcotest.test_case "leaf counting" `Quick test_cell_leaves;
+          Alcotest.test_case "validation rejects" `Quick
+            test_cell_validate_rejects;
+        ] );
+      ( "cover",
+        [
+          Alcotest.test_case "mac match" `Quick test_match_at_mac;
+          Alcotest.test_case "shared intermediate" `Quick
+            test_match_rejects_shared_intermediate;
+          Alcotest.test_case "commuted" `Quick test_match_commuted;
+          Alcotest.test_case "HAL matches" `Quick test_all_matches_on_hal;
+        ] );
+      ( "mapper",
+        [
+          Alcotest.test_case "apply semantics" `Quick
+            test_apply_matches_semantics;
+          Alcotest.test_case "overlap rejected" `Quick
+            test_apply_matches_rejects_overlap;
+          Alcotest.test_case "semantics preserved" `Quick
+            test_greedy_and_driven_preserve_semantics;
+          Alcotest.test_case "never regresses" `Slow
+            test_schedule_driven_never_regresses;
+          Alcotest.test_case "driven <= greedy" `Slow
+            test_schedule_driven_beats_greedy_or_ties;
+          Alcotest.test_case "mapped design simulates" `Quick
+            test_mapped_design_simulates;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_mapping_preserves_semantics;
+            prop_mapped_graphs_schedule_validly ] );
+    ]

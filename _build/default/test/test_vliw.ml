@@ -1,0 +1,203 @@
+(* Tests for the VLIW backend: emission, assembly round-trip and the
+   executable semantics. *)
+
+module Graph = Dfg.Graph
+module Op = Dfg.Op
+module R = Hard.Resources
+module Isa = Vliw.Isa
+
+let check = Alcotest.check
+let two_two = R.fig3_2alu_2mul
+let meta = Soft.Meta.topological
+
+let bench_env g =
+  List.filter_map
+    (fun v ->
+      match Graph.op g v with
+      | Op.Input n -> Some (n, (Hashtbl.hash n mod 9) - 4)
+      | _ -> None)
+    (Graph.vertices g)
+
+let program_of name =
+  let g = (Hls_bench.Suite.find name).build () in
+  let state = Soft.Scheduler.run ~meta ~resources:two_two g in
+  (g, Vliw.Emit.run (Rtl.Binding.of_state state))
+
+(* --- emission --------------------------------------------------------- *)
+
+let test_emit_validates () =
+  List.iter
+    (fun (e : Hls_bench.Suite.entry) ->
+      let _, prog = program_of e.name in
+      match Isa.validate prog with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "%s: %s" e.name m)
+    Hls_bench.Suite.all
+
+let test_emit_shape () =
+  let g, prog = program_of "HAL" in
+  (* bundle count = schedule length + port-load bundle + drain bundle *)
+  let state = Soft.Scheduler.run ~meta ~resources:two_two g in
+  let csteps = Hard.Schedule.length (Soft.Threaded_graph.to_schedule state) in
+  check Alcotest.int "bundles" (csteps + 2) (Array.length prog.Isa.bundles);
+  (* every non-constant vertex has exactly one instruction *)
+  let expected =
+    Graph.fold_vertices
+      (fun acc v ->
+        match Graph.op g v with Op.Const _ -> acc | _ -> acc + 1)
+      0 g
+  in
+  check Alcotest.int "instructions" expected (Isa.n_instructions prog);
+  (* first bundle is all port loads *)
+  List.iter
+    (fun (i : Isa.instruction) ->
+      match i.Isa.op with
+      | Op.Input _ -> ()
+      | op -> Alcotest.failf "bundle 0 holds %s" (Op.to_string op))
+    prog.Isa.bundles.(0)
+
+let test_emit_rejects_zero_delay () =
+  let g = Graph.create () in
+  let x = Graph.add_vertex g (Op.Input "x") in
+  let y = Graph.add_vertex g (Op.Input "y") in
+  let a = Graph.add_vertex g ~delay:0 Op.Add in
+  Graph.add_edge g x a;
+  Graph.add_edge g y a;
+  let state = Soft.Scheduler.run ~meta ~resources:two_two g in
+  let binding = Rtl.Binding.of_state state in
+  (try
+     ignore (Vliw.Emit.run binding);
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ())
+
+let test_utilisation_bounds () =
+  let _, prog = program_of "AR" in
+  let u = Isa.slot_utilisation prog in
+  check Alcotest.bool "0 < util <= 1" true (u > 0.0 && u <= 1.0)
+
+(* --- simulation -------------------------------------------------------- *)
+
+let test_sim_matches_dataflow () =
+  List.iter
+    (fun (e : Hls_bench.Suite.entry) ->
+      let g, prog = program_of e.name in
+      match Vliw.Sim.check_against_graph prog g ~env:(bench_env g) with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "%s: %s" e.name m)
+    Hls_bench.Suite.all
+
+let test_sim_spilled_design () =
+  let g = (Hls_bench.Suite.find "HAL").build () in
+  let state = Soft.Scheduler.run ~meta ~resources:two_two g in
+  let m2 = List.find (fun v -> Graph.name g v = "m2") (Graph.vertices g) in
+  let _ = Refine.Spill.apply state ~value:m2 in
+  let prog = Vliw.Emit.run (Rtl.Binding.of_state state) in
+  check Alcotest.bool "memory used" true (prog.Isa.n_mem_slots = 1);
+  (match Isa.validate prog with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  match
+    Vliw.Sim.check_against_graph prog g
+      ~env:[ ("x", 2); ("y", 3); ("u", 4); ("dx", 5); ("a", 10) ]
+  with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+(* --- assembly ---------------------------------------------------------- *)
+
+let test_asm_roundtrip_idempotent () =
+  List.iter
+    (fun (e : Hls_bench.Suite.entry) ->
+      let _, prog = program_of e.name in
+      let text = Vliw.Asm.print prog in
+      let reparsed = Vliw.Asm.parse text in
+      check Alcotest.string (e.name ^ " roundtrip") text
+        (Vliw.Asm.print reparsed))
+    Hls_bench.Suite.all
+
+let test_asm_reparsed_program_executes () =
+  let g, prog = program_of "EF" in
+  let reparsed = Vliw.Asm.parse (Vliw.Asm.print prog) in
+  match Vliw.Sim.check_against_graph reparsed g ~env:(bench_env g) with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+let test_asm_parse_errors () =
+  let expect_fail text =
+    try
+      ignore (Vliw.Asm.parse text);
+      Alcotest.failf "expected Parse_error on %S" text
+    with Vliw.Asm.Parse_error _ -> ()
+  in
+  expect_fail "cycle 0:\n  s0: r0 <- add r1, r2";
+  (* missing latency *)
+  expect_fail ".slots 1\ncycle 0:\n  r0 <- add r1, r2 @1";
+  (* missing slot *)
+  expect_fail ".slots 1\ncycle 0:\n  s0: r0 <- banana r1 @1";
+  (* unknown op *)
+  expect_fail ".slots 1\ncycle 0:\n  s0: r0 <- add q1, r2 @1"
+  (* bad operand *)
+
+let test_validate_catches_double_issue () =
+  let broken =
+    {
+      Isa.n_slots = 1;
+      n_registers = 2;
+      n_mem_slots = 0;
+      bundles =
+        [|
+          [
+            { Isa.slot = 0; op = Op.Add; latency = 1; dst = Isa.To_reg 0;
+              srcs = [ Isa.Reg 1; Isa.Imm 2 ] };
+            { Isa.slot = 0; op = Op.Sub; latency = 1; dst = Isa.To_reg 1;
+              srcs = [ Isa.Reg 0; Isa.Imm 1 ] };
+          ];
+        |];
+      inputs = [];
+      outputs = [];
+    }
+  in
+  match Isa.validate broken with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "double issue went undetected"
+
+let prop_vliw_random_graphs =
+  QCheck.Test.make
+    ~name:"vliw emission + sim match dataflow on random trees" ~count:60
+    QCheck.(pair (int_range 1 5) (int_range 0 10_000))
+    (fun (depth, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let g = Dfg.Generate.expression_tree rng ~depth in
+      let state = Soft.Scheduler.run ~meta ~resources:two_two g in
+      let prog = Vliw.Emit.run (Rtl.Binding.of_state state) in
+      Isa.validate prog = Ok ()
+      && Vliw.Sim.check_against_graph prog g ~env:(bench_env g) = Ok ())
+
+let () =
+  Alcotest.run "vliw"
+    [
+      ( "emit",
+        [
+          Alcotest.test_case "validates" `Quick test_emit_validates;
+          Alcotest.test_case "shape" `Quick test_emit_shape;
+          Alcotest.test_case "zero delay rejected" `Quick
+            test_emit_rejects_zero_delay;
+          Alcotest.test_case "utilisation" `Quick test_utilisation_bounds;
+        ] );
+      ( "sim",
+        [
+          Alcotest.test_case "matches dataflow" `Quick test_sim_matches_dataflow;
+          Alcotest.test_case "spilled design" `Quick test_sim_spilled_design;
+        ] );
+      ( "asm",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_asm_roundtrip_idempotent;
+          Alcotest.test_case "reparsed executes" `Quick
+            test_asm_reparsed_program_executes;
+          Alcotest.test_case "parse errors" `Quick test_asm_parse_errors;
+          Alcotest.test_case "double issue" `Quick
+            test_validate_catches_double_issue;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_vliw_random_graphs ] );
+    ]
