@@ -5,7 +5,11 @@
      table      reproduce the paper's Figure 3
      dot        emit the dataflow graph (or its schedule) as Graphviz
      verilog    run the full HLS flow and emit RTL
-     sim        schedule, bind and simulate with given input values *)
+     sim        schedule, bind and simulate with given input values
+
+   schedule/table/verilog accept --stats (telemetry counters), --trace
+   (Chrome trace_event JSON for chrome://tracing / Perfetto) and
+   --trace-text (human-readable decision log). *)
 
 open Cmdliner
 
@@ -16,6 +20,10 @@ let read_file path =
     (fun () -> really_input_string ic (in_channel_length ic))
 
 (* --- shared arguments ---------------------------------------------- *)
+
+let known_designs () =
+  String.concat ", "
+    (List.map (fun (e : Hls_bench.Suite.entry) -> e.name) Hls_bench.Suite.all)
 
 let graph_of_spec spec =
   match Hls_bench.Suite.find spec with
@@ -28,16 +36,14 @@ let graph_of_spec spec =
     else
       failwith
         (Printf.sprintf
-           "unknown design %S (expected a benchmark name %s or a file)" spec
-           (String.concat "|"
-              (List.map
-                 (fun (e : Hls_bench.Suite.entry) -> e.name)
-                 Hls_bench.Suite.all)))
+           "unknown design %S: expected a benchmark name (%s) or a path to a \
+            .beh/.dfg file"
+           spec (known_designs ()))
 
 let design_arg =
   let doc =
-    "Design to process: a benchmark name (HAL, AR, EF, FIR, DCT, IIR) or a \
-     path to a behavioral source file."
+    "Design to process: a benchmark name (HAL, AR, EF, FIR, DCT, IIR, MM3, \
+     CONV) or a path to a behavioral source file."
   in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"DESIGN" ~doc)
 
@@ -67,11 +73,29 @@ let parse_resources s =
   in
   Hard.Resources.make (List.map parse_one (String.split_on_char ',' s))
 
+(* A proper Cmdliner converter, so a bad spec reports through the usual
+   "invalid value ... for --resources" channel with a usage hint instead
+   of dying with a bare Failure backtrace. *)
+let resources_conv =
+  let parse s =
+    match parse_resources s with
+    | r -> Ok r
+    | exception (Failure m | Invalid_argument m) ->
+      Error
+        (`Msg
+           (Printf.sprintf
+              "%s; expected a comma-separated list of <count><class> with \
+               classes alu, mul, mem — e.g. 2alu,2mul,1mem"
+              m))
+  in
+  let print ppf r = Format.pp_print_string ppf (Hard.Resources.to_string r) in
+  Arg.conv ~docv:"RES" (parse, print)
+
 let resources_arg =
   let doc = "Resource configuration, e.g. 2alu,2mul,1mem." in
   Arg.(
     value
-    & opt string "2alu,2mul,1mem"
+    & opt resources_conv (parse_resources "2alu,2mul,1mem")
     & info [ "r"; "resources" ] ~docv:"RES" ~doc)
 
 let meta_of_name ~resources = function
@@ -79,7 +103,10 @@ let meta_of_name ~resources = function
   | "topo" -> Soft.Meta.topological
   | "paths" -> Soft.Meta.by_paths
   | "list" -> Soft.Meta.list_like ~resources
-  | other -> failwith (Printf.sprintf "unknown meta schedule %S" other)
+  | other ->
+    failwith
+      (Printf.sprintf "unknown meta schedule %S: expected dfs, topo, paths or list"
+         other)
 
 let meta_arg =
   let doc = "Meta schedule: dfs, topo, paths or list." in
@@ -92,31 +119,151 @@ let scheduler_arg =
   in
   Arg.(value & opt string "threaded" & info [ "s"; "scheduler" ] ~doc)
 
+(* Run [f] and convert the library's Failure errors into Cmdliner term
+   errors (usage + message on stderr, exit 124) instead of raw
+   exceptions. *)
+let term_of_failure f =
+  match f () with
+  | ok -> `Ok ok
+  | exception Failure m -> `Error (false, m)
+
+(* --- telemetry plumbing -------------------------------------------- *)
+
+module Tel_cli = struct
+  type opts = { trace : string option; text : string option; stats : bool }
+
+  let term =
+    let trace =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "trace" ] ~docv:"FILE"
+            ~doc:
+              "Record scheduler telemetry and write a Chrome trace_event \
+               JSON file (one track per functional-unit thread) loadable in \
+               chrome://tracing or ui.perfetto.dev.")
+    in
+    let text =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "trace-text" ] ~docv:"FILE"
+            ~doc:
+              "Record scheduler telemetry and write a human-readable \
+               decision log: every candidate position, tie-break, commit \
+               re-tightening and free placement.")
+    in
+    let stats =
+      Arg.(
+        value & flag
+        & info [ "stats" ]
+            ~doc:
+              "Print scheduler telemetry counters after the run: positions \
+               scanned, cross edges re-tightened, degree maxima, final \
+               diameter.")
+    in
+    Term.(
+      const (fun trace text stats -> { trace; text; stats })
+      $ trace $ text $ stats)
+
+  let active o = o.trace <> None || o.text <> None || o.stats
+
+  (* One track per FU thread, named after its unit class: "alu 0",
+     "alu 1", "mul 0", ... *)
+  let tracks_of_state state =
+    let module T = Soft.Threaded_graph in
+    let counts = Hashtbl.create 4 in
+    List.init (T.n_threads state) (fun k ->
+        let name = Hard.Resources.class_name (T.thread_class state k) in
+        let i = Option.value ~default:0 (Hashtbl.find_opt counts name) in
+        Hashtbl.replace counts name (i + 1);
+        (k, Printf.sprintf "%s %d" name i))
+
+  (* Install a counting + recording sink around [f] when any telemetry
+     output was requested, then emit the requested artifacts.
+     [vertex] renders vertex ids; [tracks_of] names the trace tracks
+     from [f]'s result (the scheduling state knows its threads). *)
+  let run o ~vertex ~tracks_of f =
+    if not (active o) then f ()
+    else begin
+      let counters = Telemetry.Counters.create () in
+      let recorder = Telemetry.Recorder.create () in
+      let sink =
+        Telemetry.Sink.tee
+          (Telemetry.Counters.sink counters)
+          (Telemetry.Recorder.sink recorder)
+      in
+      (* Softness (|≺_S|) costs a transitive closure per sample; only
+         pay for it when the counters are going to be printed. *)
+      if o.stats then Telemetry.set_softness_period 1;
+      let result =
+        Fun.protect
+          ~finally:(fun () -> Telemetry.set_softness_period 0)
+          (fun () -> Telemetry.with_sink sink f)
+      in
+      let events = Telemetry.Recorder.events recorder in
+      let write_or_fail path f =
+        (try f () with
+        | Sys_error m -> failwith (Printf.sprintf "cannot write trace: %s" m));
+        Printf.printf "wrote %s (%d events)\n" path
+          (Telemetry.Recorder.length recorder)
+      in
+      (match o.trace with
+      | Some path ->
+        write_or_fail path (fun () ->
+            Telemetry.Chrome_trace.write ~tracks:(tracks_of result) ~path
+              events)
+      | None -> ());
+      (match o.text with
+      | Some path ->
+        write_or_fail path (fun () ->
+            Telemetry.Text_trace.write ~vertex ~path events)
+      | None -> ());
+      if o.stats then
+        print_string
+          (Telemetry.Counters.to_string (Telemetry.Counters.snapshot counters));
+      result
+    end
+end
+
 (* --- schedule ------------------------------------------------------ *)
 
-let run_schedule design resources_s meta_s scheduler =
+let run_schedule design resources meta_s scheduler tel =
+  term_of_failure @@ fun () ->
   let g = graph_of_spec design in
-  let resources = parse_resources resources_s in
-  let schedule =
-    match scheduler with
-    | "threaded" ->
-      let meta = meta_of_name ~resources meta_s in
-      let state = Soft.Scheduler.run ~meta ~resources g in
-      print_string (Soft.Render.threads state);
-      Soft.Threaded_graph.to_schedule state
-    | "search" ->
-      let state = Soft.Search.best_state ~resources g in
-      print_string (Soft.Render.threads state);
-      Soft.Threaded_graph.to_schedule state
-    | "list" -> Hard.List_sched.run ~resources g
-    | "asap" -> Hard.Asap.run g
-    | "exact" ->
-      let r = Hard.Exact_bb.run ~resources g in
-      Printf.printf "exact search: %d nodes, optimal=%b\n"
-        r.Hard.Exact_bb.nodes_explored r.Hard.Exact_bb.optimal;
-      r.Hard.Exact_bb.schedule
-    | other -> failwith (Printf.sprintf "unknown scheduler %S" other)
+  let schedule, state =
+    Tel_cli.run tel
+      ~vertex:(fun v -> Dfg.Graph.name g v)
+      ~tracks_of:(fun (_, state) ->
+        match state with
+        | Some state -> Tel_cli.tracks_of_state state
+        | None -> [])
+      (fun () ->
+        match scheduler with
+        | "threaded" ->
+          let meta = meta_of_name ~resources meta_s in
+          let state = Soft.Scheduler.run ~meta ~resources g in
+          (Soft.Threaded_graph.to_schedule state, Some state)
+        | "search" ->
+          let state = Soft.Search.best_state ~resources g in
+          (Soft.Threaded_graph.to_schedule state, Some state)
+        | "list" -> (Hard.List_sched.run ~resources g, None)
+        | "asap" -> (Hard.Asap.run g, None)
+        | "exact" ->
+          let r = Hard.Exact_bb.run ~resources g in
+          Printf.printf "exact search: %d nodes, optimal=%b\n"
+            r.Hard.Exact_bb.nodes_explored r.Hard.Exact_bb.optimal;
+          (r.Hard.Exact_bb.schedule, None)
+        | other ->
+          failwith
+            (Printf.sprintf
+               "unknown scheduler %S: expected threaded, search, list, asap \
+                or exact"
+               other))
   in
+  (match state with
+  | Some state -> print_string (Soft.Render.threads state)
+  | None -> ());
   Format.printf "%a@." Hard.Schedule.pp schedule;
   print_string (Hard.Schedule.gantt schedule);
   (match Hard.Schedule.check ~resources schedule with
@@ -126,54 +273,61 @@ let run_schedule design resources_s meta_s scheduler =
 
 let schedule_cmd =
   let term =
-    Term.(const run_schedule $ design_arg $ resources_arg $ meta_arg
-          $ scheduler_arg)
+    Term.(
+      ret
+        (const run_schedule $ design_arg $ resources_arg $ meta_arg
+        $ scheduler_arg $ Tel_cli.term))
   in
   Cmd.v (Cmd.info "schedule" ~doc:"Schedule a design and print the result")
     term
 
 (* --- table --------------------------------------------------------- *)
 
-let run_table () =
-  Printf.printf "%-4s %-12s" "BM" "Sched. Alg.";
-  List.iter (fun (l, _) -> Printf.printf " %8s" l) Hard.Resources.fig3_all;
-  print_newline ();
-  List.iter
-    (fun (e : Hls_bench.Suite.entry) ->
-      List.iteri
-        (fun i name ->
-          Printf.printf "%-4s %-12s" e.name name;
+let run_table tel =
+  term_of_failure @@ fun () ->
+  Tel_cli.run tel
+    ~vertex:(fun v -> Printf.sprintf "v%d" v)
+    ~tracks_of:(fun () -> [])
+    (fun () ->
+      Printf.printf "%-4s %-12s" "BM" "Sched. Alg.";
+      List.iter (fun (l, _) -> Printf.printf " %8s" l) Hard.Resources.fig3_all;
+      print_newline ();
+      List.iter
+        (fun (e : Hls_bench.Suite.entry) ->
+          List.iteri
+            (fun i name ->
+              Printf.printf "%-4s %-12s" e.name name;
+              List.iter
+                (fun (_, resources) ->
+                  let g = e.build () in
+                  let meta =
+                    List.nth (Soft.Meta.fig3 ~resources) i |> snd
+                  in
+                  Printf.printf " %8d" (Soft.Scheduler.csteps ~meta ~resources g))
+                Hard.Resources.fig3_all;
+              print_newline ())
+            [ "meta sched1"; "meta sched2"; "meta sched3"; "meta sched4" ];
+          Printf.printf "%-4s %-12s" e.name "list sched";
           List.iter
             (fun (_, resources) ->
               let g = e.build () in
-              let meta =
-                List.nth (Soft.Meta.fig3 ~resources) i |> snd
-              in
-              Printf.printf " %8d" (Soft.Scheduler.csteps ~meta ~resources g))
+              Printf.printf " %8d"
+                (Hard.Schedule.length (Hard.List_sched.run ~resources g)))
             Hard.Resources.fig3_all;
           print_newline ())
-        [ "meta sched1"; "meta sched2"; "meta sched3"; "meta sched4" ];
-      Printf.printf "%-4s %-12s" e.name "list sched";
-      List.iter
-        (fun (_, resources) ->
-          let g = e.build () in
-          Printf.printf " %8d"
-            (Hard.Schedule.length (Hard.List_sched.run ~resources g)))
-        Hard.Resources.fig3_all;
-      print_newline ())
-    Hls_bench.Suite.fig3
+        Hls_bench.Suite.fig3)
 
 let table_cmd =
   Cmd.v
     (Cmd.info "table" ~doc:"Reproduce Figure 3 of the paper")
-    Term.(const run_table $ const ())
+    Term.(ret (const run_table $ Tel_cli.term))
 
 (* --- dot ----------------------------------------------------------- *)
 
-let run_dot design with_schedule resources_s =
+let run_dot design with_schedule resources =
+  term_of_failure @@ fun () ->
   let g = graph_of_spec design in
   if with_schedule then begin
-    let resources = parse_resources resources_s in
     let s = Soft.Scheduler.run_to_schedule ~resources g in
     print_string (Dfg.Dot.of_schedule g ~starts:(Hard.Schedule.starts s))
   end
@@ -187,28 +341,36 @@ let dot_cmd =
   in
   Cmd.v
     (Cmd.info "dot" ~doc:"Emit Graphviz (critical path highlighted)")
-    Term.(const run_dot $ design_arg $ with_schedule $ resources_arg)
+    Term.(ret (const run_dot $ design_arg $ with_schedule $ resources_arg))
 
 (* --- verilog ------------------------------------------------------- *)
 
-let run_verilog design resources_s meta_s =
+let run_verilog design resources meta_s tel =
+  term_of_failure @@ fun () ->
   let g = graph_of_spec design in
-  let resources = parse_resources resources_s in
   let meta = meta_of_name ~resources meta_s in
-  let state = Soft.Scheduler.run ~meta ~resources g in
+  let state =
+    Tel_cli.run tel
+      ~vertex:(fun v -> Dfg.Graph.name g v)
+      ~tracks_of:Tel_cli.tracks_of_state
+      (fun () -> Soft.Scheduler.run ~meta ~resources g)
+  in
   let binding = Rtl.Binding.of_state state in
   print_string (Rtl.Verilog.emit ~module_name:"design" binding)
 
 let verilog_cmd =
   Cmd.v
     (Cmd.info "verilog" ~doc:"Full HLS flow: schedule, bind, emit RTL")
-    Term.(const run_verilog $ design_arg $ resources_arg $ meta_arg)
+    Term.(
+      ret
+        (const run_verilog $ design_arg $ resources_arg $ meta_arg
+        $ Tel_cli.term))
 
 (* --- sim ----------------------------------------------------------- *)
 
-let run_sim design resources_s inputs vcd_path testbench =
+let run_sim design resources inputs vcd_path testbench =
+  term_of_failure @@ fun () ->
   let g = graph_of_spec design in
-  let resources = parse_resources resources_s in
   let env =
     List.map
       (fun kv ->
@@ -260,14 +422,16 @@ let sim_cmd =
   in
   Cmd.v
     (Cmd.info "sim" ~doc:"Schedule, bind and simulate cycle by cycle")
-    Term.(const run_sim $ design_arg $ resources_arg $ inputs $ vcd
-          $ testbench)
+    Term.(
+      ret
+        (const run_sim $ design_arg $ resources_arg $ inputs $ vcd
+        $ testbench))
 
 (* --- map ----------------------------------------------------------- *)
 
-let run_map design resources_s =
+let run_map design resources =
+  term_of_failure @@ fun () ->
   let g = graph_of_spec design in
-  let resources = parse_resources resources_s in
   let before = Soft.Scheduler.csteps ~resources g in
   let result = Techmap.Mapper.schedule_driven ~resources g in
   Printf.printf "fused cells: %d\n" (List.length result.Techmap.Mapper.accepted);
@@ -285,12 +449,12 @@ let map_cmd =
   Cmd.v
     (Cmd.info "map"
        ~doc:"Technology mapping with the threaded scheduler as kernel")
-    Term.(const run_map $ design_arg $ resources_arg)
+    Term.(ret (const run_map $ design_arg $ resources_arg))
 
 (* --- retime --------------------------------------------------------- *)
 
-let run_retime workload resources_s =
-  let resources = parse_resources resources_s in
+let run_retime workload resources =
+  term_of_failure @@ fun () ->
   let g =
     match workload with
     | "ring" -> Retime.Workloads.ring ~ops:8 ~registers:2
@@ -313,13 +477,13 @@ let retime_cmd =
   Cmd.v
     (Cmd.info "retime"
        ~doc:"Resource-constrained retiming with the scheduling kernel")
-    Term.(const run_retime $ workload $ resources_arg)
+    Term.(ret (const run_retime $ workload $ resources_arg))
 
 (* --- vliw ----------------------------------------------------------- *)
 
-let run_vliw design resources_s =
+let run_vliw design resources =
+  term_of_failure @@ fun () ->
   let g = graph_of_spec design in
-  let resources = parse_resources resources_s in
   let state = Soft.Scheduler.run ~resources g in
   let binding = Rtl.Binding.of_state state in
   let prog = Vliw.Emit.run binding in
@@ -335,13 +499,13 @@ let run_vliw design resources_s =
 let vliw_cmd =
   Cmd.v
     (Cmd.info "vliw" ~doc:"Emit VLIW assembly for a scheduled design")
-    Term.(const run_vliw $ design_arg $ resources_arg)
+    Term.(ret (const run_vliw $ design_arg $ resources_arg))
 
 (* --- selfcheck ------------------------------------------------------ *)
 
-let run_selfcheck design resources_s =
+let run_selfcheck design resources =
+  term_of_failure @@ fun () ->
   let g = graph_of_spec design in
-  let resources = parse_resources resources_s in
   let failures = ref 0 in
   let report label = function
     | Ok () -> Printf.printf "  ok    %s\n" label
@@ -384,13 +548,13 @@ let selfcheck_cmd =
   Cmd.v
     (Cmd.info "selfcheck"
        ~doc:"Run every validity checker on a design end to end")
-    Term.(const run_selfcheck $ design_arg $ resources_arg)
+    Term.(ret (const run_selfcheck $ design_arg $ resources_arg))
 
 (* --- main ---------------------------------------------------------- *)
 
 let () =
   let doc = "soft (threaded) scheduling for high level synthesis" in
-  let info = Cmd.info "softsched" ~version:"1.0.0" ~doc in
+  let info = Cmd.info "softsched" ~version:Version.version ~doc in
   exit
     (Cmd.eval
        (Cmd.group info

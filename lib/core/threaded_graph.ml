@@ -33,6 +33,7 @@ let fresh_node () =
   }
 
 module Vec = Dfg.Vec
+module Tel = Telemetry
 
 type t = {
   graph : Graph.t;
@@ -209,6 +210,42 @@ let precedes t u v =
     !found
   end
 
+let state_graph t =
+  sync t;
+  let g = Graph.create () in
+  Graph.iter_vertices
+    (fun v ->
+      let scheduled = (Vec.get t.nodes v).scheduled in
+      let delay = if scheduled then Graph.delay t.graph v else 0 in
+      let op = if scheduled then Graph.op t.graph v else Op.Const 0 in
+      let id = Graph.add_vertex g ~delay ~name:(Graph.name t.graph v) op in
+      assert (id = v))
+    t.graph;
+  List.iter
+    (fun v ->
+      List.iter (fun s -> Graph.add_edge g v s) (state_succs t v))
+    (scheduled_vertices t);
+  g
+
+(* Edge count and Lemma-7 degree maxima of the current state — shared by
+   [stats] and the telemetry end-of-call summary, so the two can never
+   disagree. *)
+let edge_degree_stats t =
+  let scheduled = scheduled_vertices t in
+  let in_thread v = (Vec.get t.nodes v).thread >= 0 in
+  let n_state_edges =
+    List.fold_left
+      (fun acc v -> acc + List.length (state_succs t v))
+      0 scheduled
+  in
+  let degree_over select =
+    List.fold_left
+      (fun acc v ->
+        max acc (List.length (List.filter in_thread (select t v))))
+      0 scheduled
+  in
+  (n_state_edges, degree_over state_preds, degree_over state_succs)
+
 (* --- select ------------------------------------------------------- *)
 
 (* Scheduled graph-ancestors / graph-descendants of v (the paper's
@@ -258,15 +295,20 @@ let allowed_threads t v =
       (fun k -> Resources.equal_class t.classes.(k) cls)
       (List.init (n_threads t) Fun.id)
 
-(* All feasible positions with their costs, in deterministic scan order.
-   Requires [label] to be fresh; [up]/[down] are the feasibility marks. *)
-let scan_positions t v ~up ~down ~intrinsic_src ~intrinsic_snk =
+(* All feasible positions with their costs, in deterministic scan order,
+   plus the number of slots examined (the Theorem 3 work measure).
+   Requires [label] to be fresh; [up]/[down] are the feasibility marks.
+   [trace] reports each feasible candidate to the telemetry sink — only
+   the [schedule] path sets it, so introspection helpers stay silent. *)
+let scan_positions ?(trace = false) t v ~up ~down ~intrinsic_src ~intrinsic_snk =
   let delay_v = Graph.delay t.graph v in
   let result = ref [] in
+  let scanned = ref 0 in
   List.iter
     (fun k ->
       (* Position at the head of thread k. *)
       let first = t.head.(k) in
+      incr scanned;
       let head_feasible = first < 0 || not (Hashtbl.mem up first) in
       if head_feasible then begin
         let tdist_next =
@@ -275,13 +317,17 @@ let scan_positions t v ~up ~down ~intrinsic_src ~intrinsic_snk =
         let cost =
           max 0 intrinsic_src + max tdist_next intrinsic_snk + delay_v
         in
-        result := ({ thread = k; after = None }, cost) :: !result
+        result := ({ thread = k; after = None }, cost) :: !result;
+        if trace then
+          Tel.emit (fun s ->
+              s.Tel.Sink.candidate ~v ~thread:k ~after:None ~cost)
       end;
       (* Positions after each member. *)
       let rec walk w =
         if w >= 0 then begin
           let nw = Vec.get t.nodes w in
           let next = nw.next in
+          incr scanned;
           let feasible =
             (not (Hashtbl.mem down w))
             && (next < 0 || not (Hashtbl.mem up next))
@@ -295,14 +341,17 @@ let scan_positions t v ~up ~down ~intrinsic_src ~intrinsic_snk =
               + max tdist_next intrinsic_snk
               + delay_v
             in
-            result := ({ thread = k; after = Some w }, cost) :: !result
+            result := ({ thread = k; after = Some w }, cost) :: !result;
+            if trace then
+              Tel.emit (fun s ->
+                  s.Tel.Sink.candidate ~v ~thread:k ~after:(Some w) ~cost)
           end;
           walk next
         end
       in
       walk t.head.(k))
     (allowed_threads t v);
-  List.rev !result
+  (List.rev !result, !scanned)
 
 let select_context t v =
   label t;
@@ -326,13 +375,14 @@ let feasible_positions t v =
   else if is_free_op t v then []
   else begin
     let up, down, intrinsic_src, intrinsic_snk = select_context t v in
-    List.map fst (scan_positions t v ~up ~down ~intrinsic_src ~intrinsic_snk)
+    List.map fst
+      (fst (scan_positions t v ~up ~down ~intrinsic_src ~intrinsic_snk))
   end
 
 let predicted_cost t v position =
   sync t;
   let up, down, intrinsic_src, intrinsic_snk = select_context t v in
-  let costed = scan_positions t v ~up ~down ~intrinsic_src ~intrinsic_snk in
+  let costed, _ = scan_positions t v ~up ~down ~intrinsic_src ~intrinsic_snk in
   match List.assoc_opt position costed with
   | Some cost -> cost
   | None -> invalid_arg "Threaded_graph.predicted_cost: infeasible position"
@@ -353,13 +403,17 @@ let add_explicit_edge t p v =
   let np = Vec.get t.nodes p and nv = Vec.get t.nodes v in
   if not (List.mem v np.succs) then begin
     np.succs <- v :: np.succs;
-    nv.preds <- p :: nv.preds
+    nv.preds <- p :: nv.preds;
+    if Tel.enabled () then
+      Tel.emit (fun s -> s.Tel.Sink.edge_added ~src:p ~dst:v)
   end
 
 let remove_explicit_edge t p v =
   let np = Vec.get t.nodes p and nv = Vec.get t.nodes v in
   np.succs <- List.filter (fun x -> x <> v) np.succs;
-  nv.preds <- List.filter (fun x -> x <> p) nv.preds
+  nv.preds <- List.filter (fun x -> x <> p) nv.preds;
+  if Tel.enabled () then
+    Tel.emit (fun s -> s.Tel.Sink.edge_removed ~src:p ~dst:v)
 
 (* p's unique explicit successor living in thread k, if any. *)
 let succ_in_thread t p k =
@@ -504,15 +558,56 @@ let thread_population t k =
   in
   walk t.head.(k) 0
 
+(* End-of-call telemetry summary: O(V+E) recomputation of diameter,
+   edge count and degree maxima (plus an optional transitive-closure
+   softness sample) — only ever run with a sink installed, never on the
+   production path. *)
+let emit_schedule_done t ~v ~thread ~scanned ~t0 =
+  let diameter = diameter t in
+  let state_edges, max_in, max_out = edge_degree_stats t in
+  let ordered_pairs =
+    if Tel.softness_due () then
+      Some (Reach.count_pairs (Reach.of_graph (state_graph t)))
+    else None
+  in
+  let summary =
+    {
+      Tel.scanned;
+      diameter;
+      state_edges;
+      max_thread_in_degree = max_in;
+      max_thread_out_degree = max_out;
+      ordered_pairs;
+      elapsed_ns = Tel.now_ns () - t0;
+    }
+  in
+  Tel.emit (fun s -> s.Tel.Sink.schedule_done ~v ~thread ~summary)
+
+let tie_rule_name = function
+  | `First -> "first"
+  | `Balance -> "balance"
+  | `Pack -> "pack"
+
 let schedule ?(tie = `First) t v =
   sync t;
   let nv = node t v in
   if not nv.scheduled then begin
-    if is_free_op t v then commit_free t v
+    let tel = Tel.enabled () in
+    let t0 = if tel then Tel.now_ns () else 0 in
+    if tel then
+      Tel.emit (fun s ->
+          s.Tel.Sink.schedule_start ~v ~name:(Graph.name t.graph v));
+    if is_free_op t v then begin
+      if tel then
+        Tel.emit (fun s ->
+            s.Tel.Sink.free_placed ~v ~name:(Graph.name t.graph v));
+      commit_free t v;
+      if tel then emit_schedule_done t ~v ~thread:None ~scanned:0 ~t0
+    end
     else begin
       let up, down, intrinsic_src, intrinsic_snk = select_context t v in
-      let costed =
-        scan_positions t v ~up ~down ~intrinsic_src ~intrinsic_snk
+      let costed, scanned =
+        scan_positions ~trace:tel t v ~up ~down ~intrinsic_src ~intrinsic_snk
       in
       match costed with
       | [] ->
@@ -529,6 +624,10 @@ let schedule ?(tie = `First) t v =
           List.filter (fun (_, c) -> c = best_cost)
             ((first_pos, first_cost) :: rest)
         in
+        if tel && List.length minima > 1 then
+          Tel.emit (fun s ->
+              s.Tel.Sink.tie_break ~v ~rule:(tie_rule_name tie)
+                ~ties:(List.length minima));
         let best_pos =
           match tie, minima with
           | _, [] -> assert false
@@ -545,30 +644,19 @@ let schedule ?(tie = `First) t v =
                    if w < bw then (p, w) else (bp, bw))
                  (p0, weigh p0) rest)
         in
-        commit t v best_pos
+        if tel then
+          Tel.emit (fun s ->
+              s.Tel.Sink.chosen ~v ~thread:best_pos.thread
+                ~after:best_pos.after ~cost:best_cost);
+        commit t v best_pos;
+        if tel then
+          emit_schedule_done t ~v ~thread:(Some best_pos.thread) ~scanned ~t0
     end
   end
 
 let schedule_all ?tie t order = List.iter (schedule ?tie t) order
 
 (* --- export ------------------------------------------------------- *)
-
-let state_graph t =
-  sync t;
-  let g = Graph.create () in
-  Graph.iter_vertices
-    (fun v ->
-      let scheduled = (Vec.get t.nodes v).scheduled in
-      let delay = if scheduled then Graph.delay t.graph v else 0 in
-      let op = if scheduled then Graph.op t.graph v else Op.Const 0 in
-      let id = Graph.add_vertex g ~delay ~name:(Graph.name t.graph v) op in
-      assert (id = v))
-    t.graph;
-  List.iter
-    (fun v ->
-      List.iter (fun s -> Graph.add_edge g v s) (state_succs t v))
-    (scheduled_vertices t);
-  g
 
 let to_schedule ?(placement = `Asap) t =
   sync t;
@@ -607,16 +695,8 @@ let stats t =
   let scheduled = scheduled_vertices t in
   let in_thread v = (Vec.get t.nodes v).thread >= 0 in
   let n_in_threads = List.length (List.filter in_thread scheduled) in
-  let n_state_edges =
-    List.fold_left
-      (fun acc v -> acc + List.length (state_succs t v))
-      0 scheduled
-  in
-  let degree_over select =
-    List.fold_left
-      (fun acc v ->
-        max acc (List.length (List.filter in_thread (select t v))))
-      0 scheduled
+  let n_state_edges, max_thread_in_degree, max_thread_out_degree =
+    edge_degree_stats t
   in
   let ordered_pairs =
     Reach.count_pairs (Reach.of_graph (state_graph t))
@@ -626,8 +706,8 @@ let stats t =
     n_in_threads;
     n_free = t.n_scheduled - n_in_threads;
     n_state_edges;
-    max_thread_in_degree = degree_over state_preds;
-    max_thread_out_degree = degree_over state_succs;
+    max_thread_in_degree;
+    max_thread_out_degree;
     ordered_pairs;
   }
 

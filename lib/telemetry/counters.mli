@@ -1,0 +1,38 @@
+(** Monotonic counters over the scheduler's telemetry stream.
+
+    Create one, install {!sink} (possibly {!Events.Sink.tee}-ed with a
+    recorder) and read {!snapshot} when the run is over. Counting is a
+    handful of integer stores per event — cheap enough to leave on for
+    whole benchmark sweeps. *)
+
+type t
+
+type snapshot = {
+  schedule_calls : int;  (** [schedule] calls that did work *)
+  free_placements : int;  (** zero-resource vertices placed free *)
+  positions_scanned : int;  (** total select-scan work (Theorem 3) *)
+  max_positions_in_call : int;
+  candidates : int;  (** feasible positions reported to the sink *)
+  tie_breaks : int;
+  edges_added : int;  (** explicit cross edges added by commits *)
+  edges_removed : int;  (** cross edges dropped as implied *)
+  cross_edges_touched : int;  (** added + removed *)
+  max_in_degree_observed : int;  (** running max over commits (Lemma 7) *)
+  max_out_degree_observed : int;
+  last_diameter : int;  (** diameter after the most recent commit *)
+  last_state_edges : int;  (** agrees with [Threaded_graph.stats] *)
+  last_max_in_degree : int;
+  last_max_out_degree : int;
+  last_ordered_pairs : int option;  (** most recent softness sample *)
+  elapsed_ns : int;  (** wall time inside instrumented calls *)
+}
+
+val create : unit -> t
+
+val sink : t -> Events.Sink.t
+(** A sink that accumulates into [t]. *)
+
+val snapshot : t -> snapshot
+
+val to_string : snapshot -> string
+(** Human-readable block, one counter per line. *)

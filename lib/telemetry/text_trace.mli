@@ -1,0 +1,13 @@
+(** Human-readable trace dump: one line per event, microsecond
+    timestamps relative to the start of the recording. *)
+
+val to_string :
+  ?vertex:(int -> string) -> ?thread:(int -> string) ->
+  Events.timed list -> string
+(** [vertex]/[thread] render ids as names (defaults ["v7"], ["3"]);
+    pass e.g. [Graph.name g] and a class-qualified thread printer to get
+    a dump in the design's own vocabulary. *)
+
+val write :
+  ?vertex:(int -> string) -> ?thread:(int -> string) ->
+  path:string -> Events.timed list -> unit

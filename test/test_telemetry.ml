@@ -1,0 +1,429 @@
+(* Tests for the telemetry subsystem: events arrive in causal order,
+   counters agree with the state's own [stats] after full runs, a
+   disabled (or even enabled) sink leaves scheduling results
+   bit-identical, and the Chrome trace_event export is well-formed
+   JSON with the expected structure. *)
+
+module Graph = Dfg.Graph
+module R = Hard.Resources
+module T = Soft.Threaded_graph
+module Tel = Telemetry
+
+let check = Alcotest.check
+let two_two = R.fig3_2alu_2mul
+
+let build name = (Hls_bench.Suite.find name).Hls_bench.Suite.build ()
+
+let record_run ?(resources = two_two) g =
+  let counters = Tel.Counters.create () in
+  let recorder = Tel.Recorder.create () in
+  let sink = Tel.Sink.tee (Tel.Counters.sink counters) (Tel.Recorder.sink recorder) in
+  let state = Soft.Scheduler.run_traced ~sink ~resources g in
+  (state, Tel.Counters.snapshot counters, Tel.Recorder.events recorder)
+
+(* --- causal order --------------------------------------------------- *)
+
+(* Replay the event stream through a per-call state machine: each
+   schedule call must open with [Schedule_start], then scan (candidates,
+   optional tie-break), then decide ([Chosen] or [Free_placed]), then
+   re-tighten (edge events), then close with [Schedule_done]. *)
+let test_causal_order () =
+  let g = build "HAL" in
+  let _, _, events = record_run g in
+  Alcotest.(check bool) "events recorded" true (events <> []);
+  let open_call = ref None in
+  let phase = ref `Closed in
+  let candidate_costs = ref [] in
+  List.iter
+    (fun ({ event; _ } : Tel.timed) ->
+      match event with
+      | Tel.Schedule_start { v; _ } ->
+        check Alcotest.bool "no nested call" true (!open_call = None);
+        open_call := Some v;
+        phase := `Scanning;
+        candidate_costs := []
+      | Tel.Candidate { v; cost; _ } ->
+        check Alcotest.(option int) "candidate inside its call" (Some v)
+          !open_call;
+        check Alcotest.bool "candidate during scan" true (!phase = `Scanning);
+        candidate_costs := cost :: !candidate_costs
+      | Tel.Tie_break { v; ties; _ } ->
+        check Alcotest.(option int) "tie-break inside its call" (Some v)
+          !open_call;
+        check Alcotest.bool "tie-break after candidates" true
+          (!phase = `Scanning && List.length !candidate_costs >= ties)
+      | Tel.Chosen { v; cost; _ } ->
+        check Alcotest.(option int) "chosen inside its call" (Some v)
+          !open_call;
+        check Alcotest.bool "chosen after scan" true (!phase = `Scanning);
+        (* Definition 5 made visible: the chosen cost is the scan minimum. *)
+        check Alcotest.int "chosen cost is minimal" (List.fold_left min cost !candidate_costs) cost;
+        phase := `Committing
+      | Tel.Free_placed { v; _ } ->
+        check Alcotest.(option int) "free placement inside its call" (Some v)
+          !open_call;
+        check Alcotest.bool "free placement before edges" true
+          (!phase = `Scanning);
+        phase := `Committing
+      | Tel.Edge_added _ | Tel.Edge_removed _ ->
+        check Alcotest.bool "edges only while committing" true
+          (!phase = `Committing)
+      | Tel.Schedule_done { v; _ } ->
+        check Alcotest.(option int) "done closes its call" (Some v) !open_call;
+        open_call := None;
+        phase := `Closed)
+    events;
+  check Alcotest.bool "last call closed" true (!open_call = None)
+
+let test_timestamps_monotone () =
+  let g = build "AR" in
+  let _, _, events = record_run g in
+  let rec walk = function
+    | (a : Tel.timed) :: (b : Tel.timed) :: rest ->
+      check Alcotest.bool "timestamps non-decreasing" true
+        (a.at_ns <= b.at_ns);
+      walk (b :: rest)
+    | _ -> ()
+  in
+  walk events
+
+(* --- counters vs the state's own stats ------------------------------ *)
+
+let counters_agree name () =
+  let g = build name in
+  let state, snap, _ = record_run g in
+  let stats = T.stats state in
+  check Alcotest.int "schedule calls = |V|" (Graph.n_vertices g)
+    snap.Tel.Counters.schedule_calls;
+  check Alcotest.int "free placements" stats.T.n_free
+    snap.Tel.Counters.free_placements;
+  check Alcotest.int "state edges" stats.T.n_state_edges
+    snap.Tel.Counters.last_state_edges;
+  check Alcotest.int "max in-degree" stats.T.max_thread_in_degree
+    snap.Tel.Counters.last_max_in_degree;
+  check Alcotest.int "max out-degree" stats.T.max_thread_out_degree
+    snap.Tel.Counters.last_max_out_degree;
+  check Alcotest.int "final diameter" (T.diameter state)
+    snap.Tel.Counters.last_diameter;
+  (* Lemma 7: observed degrees never exceeded K. *)
+  let k = T.n_threads state in
+  check Alcotest.bool "Lemma 7 in-bound" true
+    (snap.Tel.Counters.max_in_degree_observed <= k);
+  check Alcotest.bool "Lemma 7 out-bound" true
+    (snap.Tel.Counters.max_out_degree_observed <= k)
+
+let test_softness_sampling () =
+  let g = build "HAL" in
+  Tel.set_softness_period 1;
+  Fun.protect
+    ~finally:(fun () -> Tel.set_softness_period 0)
+    (fun () ->
+      let state, snap, _ = record_run g in
+      let stats = T.stats state in
+      check
+        Alcotest.(option int)
+        "last softness sample = |pairs| of the final state"
+        (Some stats.T.ordered_pairs)
+        snap.Tel.Counters.last_ordered_pairs)
+
+(* --- telemetry only observes ---------------------------------------- *)
+
+let identical_schedules name () =
+  let plain =
+    let g = build name in
+    T.to_schedule (Soft.Scheduler.run ~resources:two_two g)
+  in
+  let instrumented =
+    let g = build name in
+    let state, _, _ = record_run g in
+    T.to_schedule state
+  in
+  check
+    Alcotest.(array int)
+    "identical start times"
+    (Hard.Schedule.starts plain)
+    (Hard.Schedule.starts instrumented);
+  check Alcotest.int "identical length" (Hard.Schedule.length plain)
+    (Hard.Schedule.length instrumented)
+
+let test_sink_restored () =
+  check Alcotest.bool "telemetry disabled outside with_sink" false
+    (Tel.enabled ());
+  let recorder = Tel.Recorder.create () in
+  Tel.with_sink (Tel.Recorder.sink recorder) (fun () ->
+      check Alcotest.bool "enabled inside" true (Tel.enabled ()));
+  check Alcotest.bool "disabled after" false (Tel.enabled ());
+  (* exceptions restore too *)
+  (try
+     Tel.with_sink (Tel.Recorder.sink recorder) (fun () -> failwith "boom")
+   with Failure _ -> ());
+  check Alcotest.bool "disabled after exception" false (Tel.enabled ())
+
+(* --- exporters ------------------------------------------------------ *)
+
+(* A minimal JSON reader — just enough to state "this is well-formed
+   JSON" and poke at the structure, without an external dependency. *)
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Bad of string
+
+  let parse (s : string) : t =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail m = raise (Bad (Printf.sprintf "%s at %d" m !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      if !pos < n && s.[!pos] = c then advance ()
+      else fail (Printf.sprintf "expected %c" c)
+    in
+    let literal word value =
+      String.iter expect word;
+      value
+    in
+    let string_body () =
+      let b = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string"
+        else
+          match s.[!pos] with
+          | '"' -> advance ()
+          | '\\' ->
+            advance ();
+            (match peek () with
+            | Some 'u' ->
+              advance ();
+              if !pos + 4 > n then fail "bad \\u escape";
+              ignore (int_of_string ("0x" ^ String.sub s !pos 4));
+              pos := !pos + 4
+            | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') ->
+              Buffer.add_char b s.[!pos];
+              advance ()
+            | _ -> fail "bad escape");
+            go ()
+          | c ->
+            Buffer.add_char b c;
+            advance ();
+            go ()
+      in
+      go ();
+      Buffer.contents b
+    in
+    let number () =
+      let start = !pos in
+      let is_num_char = function
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while !pos < n && is_num_char s.[!pos] do
+        advance ()
+      done;
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> Num f
+      | None -> fail "bad number"
+    in
+    let rec value () =
+      skip_ws ();
+      match peek () with
+      | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            expect '"';
+            let key = string_body () in
+            skip_ws ();
+            expect ':';
+            let v = value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              members ((key, v) :: acc)
+            | Some '}' ->
+              advance ();
+              Obj (List.rev ((key, v) :: acc))
+            | _ -> fail "expected , or }"
+          in
+          members []
+        end
+      | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let rec elements acc =
+            let v = value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              elements (v :: acc)
+            | Some ']' ->
+              advance ();
+              Arr (List.rev (v :: acc))
+            | _ -> fail "expected , or ]"
+          in
+          elements []
+        end
+      | Some '"' ->
+        advance ();
+        Str (string_body ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> number ()
+      | None -> fail "unexpected end"
+    in
+    let v = value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+
+  let member key = function
+    | Obj fields -> List.assoc_opt key fields
+    | _ -> None
+end
+
+let test_chrome_trace_json () =
+  let g = build "HAL" in
+  let state, snap, events = record_run g in
+  let tracks =
+    List.init (T.n_threads state) (fun k ->
+        (k, Printf.sprintf "fu %d" k))
+  in
+  let json_text = Tel.Chrome_trace.to_string ~tracks events in
+  let json =
+    match Json.parse json_text with
+    | j -> j
+    | exception Json.Bad m -> Alcotest.failf "malformed trace JSON: %s" m
+  in
+  let trace_events =
+    match Json.member "traceEvents" json with
+    | Some (Json.Arr l) -> l
+    | _ -> Alcotest.fail "missing traceEvents array"
+  in
+  let phase e =
+    match Json.member "ph" e with Some (Json.Str p) -> p | _ -> "?"
+  in
+  let slices = List.filter (fun e -> phase e = "X") trace_events in
+  check Alcotest.int "one slice per schedule call"
+    snap.Tel.Counters.schedule_calls (List.length slices);
+  (* every functional-unit thread used by the schedule has a named
+     track, and every slice lands on a known track *)
+  let named_tids =
+    List.filter_map
+      (fun e ->
+        match (phase e, Json.member "tid" e) with
+        | "M", Some (Json.Num tid) -> Some (int_of_float tid)
+        | _ -> None)
+      trace_events
+  in
+  List.iter
+    (fun (k, _) ->
+      check Alcotest.bool
+        (Printf.sprintf "track %d named" k)
+        true (List.mem k named_tids))
+    tracks;
+  List.iter
+    (fun e ->
+      match Json.member "tid" e with
+      | Some (Json.Num tid) ->
+        check Alcotest.bool "slice on a named track" true
+          (List.mem (int_of_float tid) named_tids)
+      | _ -> Alcotest.fail "slice without tid")
+    slices;
+  (* counter series present *)
+  check Alcotest.bool "diameter counter series" true
+    (List.exists
+       (fun e ->
+         phase e = "C"
+         && Json.member "name" e = Some (Json.Str "diameter"))
+       trace_events)
+
+let test_text_trace () =
+  let g = build "HAL" in
+  let _, snap, events = record_run g in
+  let text = Tel.Text_trace.to_string ~vertex:(Graph.name g) events in
+  let lines = String.split_on_char '\n' text in
+  let count prefix =
+    List.length
+      (List.filter
+         (fun l ->
+           match String.index_opt l ']' with
+           | Some i ->
+             let body = String.trim (String.sub l (i + 1) (String.length l - i - 1)) in
+             String.length body >= String.length prefix
+             && String.sub body 0 (String.length prefix) = prefix
+           | None -> false)
+         lines)
+  in
+  check Alcotest.int "one schedule line per call"
+    snap.Tel.Counters.schedule_calls (count "schedule ");
+  check Alcotest.int "one done line per call"
+    snap.Tel.Counters.schedule_calls (count "done");
+  (* design vocabulary, not raw ids *)
+  check Alcotest.bool "uses vertex names" true
+    (List.exists
+       (fun l ->
+         match String.index_opt l ']' with
+         | Some i ->
+           let body = String.trim (String.sub l (i + 1) (String.length l - i - 1)) in
+           String.length body >= 12 && String.sub body 0 12 = "schedule dx "
+         | None -> false)
+       lines)
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "causal order",
+        [
+          Alcotest.test_case "per-call state machine" `Quick test_causal_order;
+          Alcotest.test_case "timestamps monotone" `Quick
+            test_timestamps_monotone;
+        ] );
+      ( "counters",
+        [
+          Alcotest.test_case "agree with stats (HAL)" `Quick
+            (counters_agree "HAL");
+          Alcotest.test_case "agree with stats (AR)" `Quick
+            (counters_agree "AR");
+          Alcotest.test_case "softness sampling" `Quick test_softness_sampling;
+        ] );
+      ( "observation only",
+        [
+          Alcotest.test_case "bit-identical schedules (HAL)" `Quick
+            (identical_schedules "HAL");
+          Alcotest.test_case "bit-identical schedules (EF)" `Quick
+            (identical_schedules "EF");
+          Alcotest.test_case "sink install/restore" `Quick test_sink_restored;
+        ] );
+      ( "exporters",
+        [
+          Alcotest.test_case "chrome trace well-formed" `Quick
+            test_chrome_trace_json;
+          Alcotest.test_case "text trace" `Quick test_text_trace;
+        ] );
+    ]
