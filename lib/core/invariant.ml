@@ -92,12 +92,11 @@ let check_degree_bound state =
   let bad = ref None in
   List.iter
     (fun v ->
-      let pred_threads =
-        List.length (List.filter in_thread (Graph.preds state_g v))
+      let count_in_thread fold =
+        fold (fun acc p -> if in_thread p then acc + 1 else acc) 0 state_g v
       in
-      let succ_threads =
-        List.length (List.filter in_thread (Graph.succs state_g v))
-      in
+      let pred_threads = count_in_thread Graph.fold_preds in
+      let succ_threads = count_in_thread Graph.fold_succs in
       if pred_threads > k || succ_threads > k then
         if !bad = None then
           bad :=

@@ -24,14 +24,14 @@ let path_partition g =
       (fun v ->
         if not assigned.(v) then begin
           dist.(v) <- Graph.delay g v;
-          List.iter
+          Graph.iter_preds
             (fun p ->
               if (not assigned.(p)) && dist.(p) <> min_int then
                 if dist.(p) + Graph.delay g v > dist.(v) then begin
                   dist.(v) <- dist.(p) + Graph.delay g v;
                   choice.(v) <- p
                 end)
-            (Graph.preds g v)
+            g v
         end)
       order;
     let best = ref (-1) in

@@ -35,6 +35,14 @@ let fresh_node () =
 module Vec = Dfg.Vec
 module Tel = Telemetry
 
+(* The reachability index and the graph generation it reflects. The box
+   is {e shared} between a state and its [copy]-ies (they also share the
+   underlying graph): whichever copy syncs first catches the index up,
+   and the others see a matching generation. Keeping the generation
+   inside the box (not per state) is what makes that safe — journal
+   replay, unlike signature comparison, must happen exactly once. *)
+type reach_box = { mutable index : Reach.t; mutable gen : int }
+
 type t = {
   graph : Graph.t;
   classes : Resources.fu_class array; (* thread -> its unit class *)
@@ -42,11 +50,16 @@ type t = {
   tail : int array;
   nodes : node Vec.t;
   mutable n_scheduled : int;
-  mutable reach : Reach.t;
-  mutable reach_signature : int * int; (* (n_vertices, n_edges) at build *)
+  reach : reach_box;
 }
 
 type position = { thread : int; after : Graph.vertex option }
+
+(* [`Rebuild] restores the pre-incremental behaviour (a from-scratch
+   closure whenever the graph changed); it exists so the benchmark can
+   measure exactly what the journal replay saves. *)
+let reach_mode : [ `Incremental | `Rebuild ] ref = ref `Incremental
+let set_reach_mode m = reach_mode := m
 
 let create graph ~resources =
   let classes =
@@ -63,8 +76,7 @@ let create graph ~resources =
     tail = Array.make (max k 1) (-1);
     nodes = Vec.create ~dummy:(fresh_node ()) ();
     n_scheduled = 0;
-    reach = Reach.of_graph graph;
-    reach_signature = (Graph.n_vertices graph, Graph.n_edges graph);
+    reach = { index = Reach.of_graph graph; gen = Graph.generation graph };
   }
 
 let graph t = t.graph
@@ -75,17 +87,79 @@ let thread_class t k =
     invalid_arg (Printf.sprintf "Threaded_graph.thread_class: no thread %d" k);
   t.classes.(k)
 
+(* Exact reachability query on the current graph (not the index): used
+   to decide whether a journalled edge removal changed the closure. *)
+let graph_reaches g u v =
+  let visited = Bytes.make (Graph.n_vertices g) '\000' in
+  let queue = Queue.create () in
+  Queue.add u queue;
+  let found = ref false in
+  while (not !found) && not (Queue.is_empty queue) do
+    let w = Queue.pop queue in
+    Graph.iter_succs
+      (fun s ->
+        if s = v then found := true
+        else if Bytes.get visited s = '\000' then begin
+          Bytes.set visited s '\001';
+          Queue.add s queue
+        end)
+      g w
+  done;
+  !found
+
+let emit_reach_update ~rows ~words ~rebuilt =
+  if Tel.enabled () then
+    Tel.emit (fun s -> s.Tel.Sink.reach_update ~rows ~words ~rebuilt)
+
+let rebuild_closure t gen =
+  let index = Reach.of_graph t.graph in
+  let rows, words = Reach.update_stats index in
+  t.reach.index <- index;
+  t.reach.gen <- gen;
+  emit_reach_update ~rows ~words ~rebuilt:true
+
+(* Catch the closure up with the graph's mutation journal. Additions are
+   monotone, so [Reach.add_vertex]/[Reach.add_edge] replay them exactly.
+   Removals cannot shrink a bitset closure in place; instead, note that
+   the replayed index equals the closure of (final graph + the removed
+   edges), so it is already exact whenever each removed edge [u -> v]
+   is {e covered} — [u] still reaches [v] through the final graph, as
+   every rewiring in [Dfg.Mutate] guarantees by construction (the
+   replaced edge is bypassed via the inserted vertex). Only an uncovered
+   removal forces the old full rebuild. *)
+let catch_up_closure t gen =
+  let index = t.reach.index in
+  let rows0, words0 = Reach.update_stats index in
+  let removals = ref [] in
+  List.iter
+    (fun (m : Graph.mutation) ->
+      match m with
+      | Graph.Added_vertex v ->
+        let v' = Reach.add_vertex index in
+        assert (v' = v)
+      | Graph.Added_edge (u, v) -> Reach.add_edge index u v
+      | Graph.Removed_edge (u, v) -> removals := (u, v) :: !removals)
+    (Graph.mutations_since t.graph t.reach.gen);
+  let covered (u, v) = graph_reaches t.graph u v in
+  if List.for_all covered !removals then begin
+    let rows1, words1 = Reach.update_stats index in
+    t.reach.gen <- gen;
+    emit_reach_update ~rows:(rows1 - rows0) ~words:(words1 - words0)
+      ~rebuilt:false
+  end
+  else rebuild_closure t gen
+
 (* Grow the node store to match the (possibly mutated) graph, and
    refresh the reachability index if the graph changed. *)
 let sync t =
   while Vec.length t.nodes < Graph.n_vertices t.graph do
     ignore (Vec.push t.nodes (fresh_node ()))
   done;
-  let signature = (Graph.n_vertices t.graph, Graph.n_edges t.graph) in
-  if signature <> t.reach_signature then begin
-    t.reach <- Reach.of_graph t.graph;
-    t.reach_signature <- signature
-  end
+  let gen = Graph.generation t.graph in
+  if gen <> t.reach.gen then
+    match !reach_mode with
+    | `Rebuild -> rebuild_closure t gen
+    | `Incremental -> catch_up_closure t gen
 
 let node t v =
   if v < 0 || v >= Graph.n_vertices t.graph then
@@ -251,12 +325,14 @@ let edge_degree_stats t =
 (* Scheduled graph-ancestors / graph-descendants of v (the paper's
    "∀p, p ≺_G v" — the transitive relation, not just direct preds). *)
 let scheduled_ancestors t v =
-  List.filter (fun p -> (Vec.get t.nodes p).scheduled) (Reach.ancestors t.reach v)
+  List.filter
+    (fun p -> (Vec.get t.nodes p).scheduled)
+    (Reach.ancestors t.reach.index v)
 
 let scheduled_descendants t v =
   List.filter
     (fun q -> (Vec.get t.nodes q).scheduled)
-    (Reach.descendants t.reach v)
+    (Reach.descendants t.reach.index v)
 
 (* Mark the up-set of [sources] (everything ⪯_S some source) walking
    state preds; the down-set walks succs. Returns a membership table. *)
@@ -687,10 +763,10 @@ type stats = {
   n_state_edges : int;
   max_thread_in_degree : int;
   max_thread_out_degree : int;
-  ordered_pairs : int;
+  ordered_pairs : int option;
 }
 
-let stats t =
+let stats ?(with_softness = false) t =
   sync t;
   let scheduled = scheduled_vertices t in
   let in_thread v = (Vec.get t.nodes v).thread >= 0 in
@@ -699,7 +775,9 @@ let stats t =
     edge_degree_stats t
   in
   let ordered_pairs =
-    Reach.count_pairs (Reach.of_graph (state_graph t))
+    if with_softness then
+      Some (Reach.count_pairs (Reach.of_graph (state_graph t)))
+    else None
   in
   {
     n_scheduled = t.n_scheduled;
@@ -737,6 +815,5 @@ let copy t =
     tail = Array.copy t.tail;
     nodes;
     n_scheduled = t.n_scheduled;
-    reach = t.reach;
-    reach_signature = t.reach_signature;
+    reach = t.reach; (* shared box: see its definition *)
   }

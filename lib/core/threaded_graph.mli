@@ -108,12 +108,22 @@ type stats = {
       (** over scheduled vertices, counting only predecessors that live
           in threads — Lemma 7 bounds this by K *)
   max_thread_out_degree : int;
-  ordered_pairs : int;  (** |≺_S| — the softness numerator *)
+  ordered_pairs : int option;
+      (** |≺_S| — the softness numerator; [None] unless requested *)
 }
 
-val stats : t -> stats
-(** One pass over the state; [ordered_pairs] costs a transitive
-    closure. *)
+val stats : ?with_softness:bool -> t -> stats
+(** One pass over the state. [ordered_pairs] costs a from-scratch
+    transitive closure of the state graph, so it is only computed when
+    [with_softness] is true (default false). *)
+
+val set_reach_mode : [ `Incremental | `Rebuild ] -> unit
+(** Process-global policy for keeping the reachability index in step
+    with graph mutations. [`Incremental] (default) replays the graph's
+    mutation journal into the existing closure; [`Rebuild] recomputes it
+    from scratch on every change, the pre-refactor behaviour — kept so
+    the benchmark can quantify the difference. Queries are identical in
+    both modes. *)
 
 (** {2 Introspection for the reference implementation and the tests} *)
 

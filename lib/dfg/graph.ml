@@ -1,22 +1,53 @@
 type vertex = int
 
+type mutation =
+  | Added_vertex of vertex
+  | Added_edge of vertex * vertex
+  | Removed_edge of vertex * vertex
+
 type node = {
   op : Op.t;
   mutable delay : int;
   name : string;
-  mutable preds : vertex list; (* operand order *)
-  mutable succs : vertex list; (* insertion order *)
+  preds : vertex Vec.t; (* operand order; may repeat a vertex after merges *)
+  succs : vertex Vec.t; (* insertion order; duplicate-free *)
 }
 
-type t = { nodes : node Vec.t; mutable n_edges : int }
+type t = {
+  nodes : node Vec.t;
+  mutable n_edges : int;
+  edge_set : (vertex * vertex, unit) Hashtbl.t;
+  journal : mutation Vec.t;
+}
+
+let dummy_vec : vertex Vec.t = Vec.create ~capacity:1 ~dummy:(-1) ()
 
 let dummy_node =
-  { op = Op.Const 0; delay = 0; name = ""; preds = []; succs = [] }
+  { op = Op.Const 0; delay = 0; name = ""; preds = dummy_vec; succs = dummy_vec }
 
-let create () = { nodes = Vec.create ~dummy:dummy_node (); n_edges = 0 }
+let dummy_mutation = Added_vertex (-1)
+
+let create () =
+  {
+    nodes = Vec.create ~dummy:dummy_node ();
+    n_edges = 0;
+    edge_set = Hashtbl.create 64;
+    journal = Vec.create ~dummy:dummy_mutation ();
+  }
 
 let n_vertices g = Vec.length g.nodes
 let n_edges g = g.n_edges
+let generation g = Vec.length g.journal
+
+let mutations_since g gen =
+  let n = Vec.length g.journal in
+  if gen < 0 || gen > n then
+    invalid_arg
+      (Printf.sprintf "Graph.mutations_since: generation %d not in [0,%d]" gen n);
+  let rec loop i acc =
+    if i < gen then acc else loop (i - 1) (Vec.get g.journal i :: acc)
+  in
+  loop (n - 1) []
 
 let node g v =
   if v < 0 || v >= n_vertices g then
@@ -28,52 +59,94 @@ let add_vertex g ?delay ?name op =
   if delay < 0 then invalid_arg "Graph.add_vertex: negative delay";
   let id = Vec.length g.nodes in
   let name = match name with Some n -> n | None -> Printf.sprintf "v%d" id in
-  let _index = Vec.push g.nodes { op; delay; name; preds = []; succs = [] } in
+  let _index =
+    Vec.push g.nodes
+      {
+        op;
+        delay;
+        name;
+        preds = Vec.create ~capacity:2 ~dummy:(-1) ();
+        succs = Vec.create ~capacity:2 ~dummy:(-1) ();
+      }
+  in
+  ignore (Vec.push g.journal (Added_vertex id));
   id
 
 let mem_edge g u v =
-  let nu = node g u in
-  List.mem v nu.succs
+  ignore (node g u);
+  Hashtbl.mem g.edge_set (u, v)
 
 let add_edge g u v =
   if u = v then invalid_arg "Graph.add_edge: self loop";
   let nu = node g u and nv = node g v in
-  if not (List.mem v nu.succs) then begin
-    nu.succs <- nu.succs @ [ v ];
-    nv.preds <- nv.preds @ [ u ];
+  if not (Hashtbl.mem g.edge_set (u, v)) then begin
+    ignore (Vec.push nu.succs v);
+    ignore (Vec.push nv.preds u);
+    Hashtbl.add g.edge_set (u, v) ();
+    ignore (Vec.push g.journal (Added_edge (u, v)));
     g.n_edges <- g.n_edges + 1
   end
 
+(* In-place order-preserving removal of every occurrence of [x]. *)
+let vec_remove_all vec x =
+  let n = Vec.length vec in
+  let j = ref 0 in
+  for i = 0 to n - 1 do
+    let y = Vec.get vec i in
+    if y <> x then begin
+      if !j <> i then Vec.set vec !j y;
+      incr j
+    end
+  done;
+  for _ = !j to n - 1 do
+    ignore (Vec.pop vec)
+  done
+
 let remove_edge g u v =
   let nu = node g u and nv = node g v in
-  if not (List.mem v nu.succs) then
+  if not (Hashtbl.mem g.edge_set (u, v)) then
     invalid_arg (Printf.sprintf "Graph.remove_edge: no edge %d -> %d" u v);
-  nu.succs <- List.filter (fun w -> w <> v) nu.succs;
-  (* preds may list u several times only if duplicate edges were allowed;
-     they are not, so removing all occurrences removes exactly one. *)
-  nv.preds <- List.filter (fun w -> w <> u) nv.preds;
+  ignore (Vec.remove_first nu.succs v);
+  (* The edge is gone entirely, so every operand slot reading [u] goes
+     with it (they can only repeat after a {!replace_operand} merge). *)
+  vec_remove_all nv.preds u;
+  Hashtbl.remove g.edge_set (u, v);
+  ignore (Vec.push g.journal (Removed_edge (u, v)));
   g.n_edges <- g.n_edges - 1
 
 let replace_operand g v ~old_pred ~new_pred =
   let nv = node g v in
-  if not (List.mem old_pred nv.preds) then
+  if not (Vec.mem old_pred nv.preds) then
     invalid_arg
       (Printf.sprintf "Graph.replace_operand: %d does not feed %d" old_pred v);
-  let replaced = ref false in
-  nv.preds <-
-    List.map
-      (fun p ->
+  let n_old = node g old_pred and n_new = node g new_pred in
+  if old_pred = new_pred then () (* rewiring a slot to itself: no-op *)
+  else begin
+    (* Replace the first operand slot reading [old_pred]. *)
+    let replaced = ref false in
+    Vec.iteri
+      (fun i p ->
         if p = old_pred && not !replaced then begin
           replaced := true;
-          new_pred
-        end
-        else p)
+          Vec.set nv.preds i new_pred
+        end)
       nv.preds;
-  let n_old = node g old_pred in
-  n_old.succs <- List.filter (fun w -> w <> v) n_old.succs;
-  let n_new = node g new_pred in
-  if not (List.mem v n_new.succs) then n_new.succs <- n_new.succs @ [ v ]
-  else g.n_edges <- g.n_edges - 1
+    (* Drop the old edge only if no other operand slot still reads
+       [old_pred]; a blanket removal would break the succs/preds
+       invariant when operands were previously merged. *)
+    if not (Vec.mem old_pred nv.preds) then begin
+      ignore (Vec.remove_first n_old.succs v);
+      Hashtbl.remove g.edge_set (old_pred, v);
+      ignore (Vec.push g.journal (Removed_edge (old_pred, v)));
+      g.n_edges <- g.n_edges - 1
+    end;
+    if not (Hashtbl.mem g.edge_set (new_pred, v)) then begin
+      ignore (Vec.push n_new.succs v);
+      Hashtbl.add g.edge_set (new_pred, v) ();
+      ignore (Vec.push g.journal (Added_edge (new_pred, v)));
+      g.n_edges <- g.n_edges + 1
+    end
+  end
 
 let op g v = (node g v).op
 let delay g v = (node g v).delay
@@ -82,10 +155,17 @@ let set_delay g v d =
   (node g v).delay <- d
 
 let name g v = (node g v).name
-let preds g v = (node g v).preds
-let succs g v = (node g v).succs
-let in_degree g v = List.length (preds g v)
-let out_degree g v = List.length (succs g v)
+let preds g v = Vec.to_list (node g v).preds
+let succs g v = Vec.to_list (node g v).succs
+let in_degree g v = Vec.length (node g v).preds
+let out_degree g v = Vec.length (node g v).succs
+
+let iter_preds f g v = Vec.iter f (node g v).preds
+let iter_succs f g v = Vec.iter f (node g v).succs
+let fold_preds f acc g v = Vec.fold_left f acc (node g v).preds
+let fold_succs f acc g v = Vec.fold_left f acc (node g v).succs
+let exists_succ p g v = Vec.exists p (node g v).succs
+let exists_pred p g v = Vec.exists p (node g v).preds
 
 let vertices g = List.init (n_vertices g) Fun.id
 
@@ -99,16 +179,16 @@ let fold_vertices f acc g =
   iter_vertices (fun v -> acc := f !acc v) g;
   !acc
 
-let iter_edges f g = iter_vertices (fun u -> List.iter (f u) (succs g u)) g
+let iter_edges f g = iter_vertices (fun u -> iter_succs (f u) g u) g
 
 let edges g =
   List.rev
     (fold_vertices
-       (fun acc u -> List.fold_left (fun acc v -> (u, v) :: acc) acc (succs g u))
+       (fun acc u -> fold_succs (fun acc v -> (u, v) :: acc) acc g u)
        [] g)
 
-let sources g = List.filter (fun v -> preds g v = []) (vertices g)
-let sinks g = List.filter (fun v -> succs g v = []) (vertices g)
+let sources g = List.filter (fun v -> in_degree g v = 0) (vertices g)
+let sinks g = List.filter (fun v -> out_degree g v = 0) (vertices g)
 
 (* Kahn's algorithm; a graph is a DAG iff every vertex gets popped. *)
 let is_dag g =
@@ -121,11 +201,11 @@ let is_dag g =
   while not (Queue.is_empty queue) do
     let u = Queue.pop queue in
     incr popped;
-    List.iter
+    iter_succs
       (fun v ->
         indeg.(v) <- indeg.(v) - 1;
         if indeg.(v) = 0 then Queue.add v queue)
-      (succs g u)
+      g u
   done;
   !popped = n
 
@@ -135,10 +215,15 @@ let copy g =
     (fun n ->
       ignore
         (Vec.push nodes
-           { op = n.op; delay = n.delay; name = n.name; preds = n.preds;
-             succs = n.succs }))
+           { op = n.op; delay = n.delay; name = n.name;
+             preds = Vec.copy n.preds; succs = Vec.copy n.succs }))
     g.nodes;
-  { nodes; n_edges = g.n_edges }
+  {
+    nodes;
+    n_edges = g.n_edges;
+    edge_set = Hashtbl.copy g.edge_set;
+    journal = Vec.copy g.journal;
+  }
 
 let total_delay g = fold_vertices (fun acc v -> acc + delay g v) 0 g
 

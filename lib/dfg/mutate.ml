@@ -8,10 +8,9 @@ let insert_on_edge g ~src ~dst ~op ?delay ?name () =
   w
 
 let insert_spill g ~value ~reload_for =
-  let succs = Graph.succs g value in
   List.iter
     (fun c ->
-      if not (List.mem c succs) then
+      if not (Graph.mem_edge g value c) then
         invalid_arg
           (Printf.sprintf "Mutate.insert_spill: %d is not a consumer of %d" c
              value))

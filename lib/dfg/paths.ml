@@ -4,7 +4,7 @@ let source_distances g =
   List.iter
     (fun v ->
       let best =
-        List.fold_left (fun acc p -> max acc sdist.(p)) 0 (Graph.preds g v)
+        Graph.fold_preds (fun acc p -> max acc sdist.(p)) 0 g v
       in
       sdist.(v) <- best + Graph.delay g v)
     order;
@@ -16,7 +16,7 @@ let sink_distances g =
   List.iter
     (fun v ->
       let best =
-        List.fold_left (fun acc s -> max acc tdist.(s)) 0 (Graph.succs g v)
+        Graph.fold_succs (fun acc s -> max acc tdist.(s)) 0 g v
       in
       tdist.(v) <- best + Graph.delay g v)
     order;
@@ -41,7 +41,7 @@ let critical_path g =
     let start =
       List.fold_left
         (fun acc v ->
-          if Graph.preds g v = [] && on_critical v then
+          if Graph.in_degree g v = 0 && on_critical v then
             match acc with Some a when a < v -> Some a | _ -> Some v
           else acc)
         None (Graph.vertices g)
@@ -51,12 +51,12 @@ let critical_path g =
     | Some start ->
       let rec walk v acc =
         let next =
-          List.fold_left
+          Graph.fold_succs
             (fun best s ->
               if on_critical s && sdist.(s) = sdist.(v) + Graph.delay g s then
                 match best with Some b when b < s -> Some b | _ -> Some s
               else best)
-            None (Graph.succs g v)
+            None g v
         in
         match next with
         | None -> List.rev (v :: acc)

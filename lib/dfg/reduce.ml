@@ -6,11 +6,12 @@ let redundant_edges g =
   let reach = Reach.of_graph g in
   List.filter
     (fun (u, v) ->
-      List.exists (fun w -> w <> v && Reach.preceq reach w v) (Graph.succs g u))
+      Graph.exists_succ (fun w -> w <> v && Reach.preceq reach w v) g u)
     (Graph.edges g)
 
 let transitive_reduction g =
-  let redundant = redundant_edges g in
+  let redundant = Hashtbl.create 64 in
+  List.iter (fun e -> Hashtbl.replace redundant e ()) (redundant_edges g);
   let reduced = Graph.create () in
   Graph.iter_vertices
     (fun v ->
@@ -22,7 +23,7 @@ let transitive_reduction g =
     g;
   Graph.iter_edges
     (fun u v ->
-      if not (List.mem (u, v) redundant) then Graph.add_edge reduced u v)
+      if not (Hashtbl.mem redundant (u, v)) then Graph.add_edge reduced u v)
     g;
   reduced
 

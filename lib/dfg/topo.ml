@@ -13,11 +13,11 @@ let sort g =
     let u = Queue.pop queue in
     order := u :: !order;
     incr count;
-    List.iter
+    Graph.iter_succs
       (fun v ->
         indeg.(v) <- indeg.(v) - 1;
         if indeg.(v) = 0 then Queue.add v queue)
-      (Graph.succs g u)
+      g u
   done;
   if !count <> Graph.n_vertices g then
     invalid_arg "Topo.sort: graph has a cycle";
@@ -44,11 +44,11 @@ let sort_by g ~compare:cmp =
     ready := List.filter (fun v -> v <> u) !ready;
     order := u :: !order;
     incr count;
-    List.iter
+    Graph.iter_succs
       (fun v ->
         indeg.(v) <- indeg.(v) - 1;
         if indeg.(v) = 0 then ready := v :: !ready)
-      (Graph.succs g u)
+      g u
   done;
   if !count <> Graph.n_vertices g then
     invalid_arg "Topo.sort_by: graph has a cycle";
@@ -61,7 +61,7 @@ let dfs g ~pre ~post =
     if not visited.(v) then begin
       visited.(v) <- true;
       pre v;
-      List.iter visit (Graph.succs g v);
+      Graph.iter_succs visit g v;
       post v
     end
   in

@@ -73,3 +73,18 @@ let exists p v =
   loop 0
 
 let for_all p v = not (exists (fun x -> not (p x)) v)
+
+let mem x v =
+  let rec loop i = i < v.len && (v.data.(i) = x || loop (i + 1)) in
+  loop 0
+
+let remove_first v x =
+  let rec find i = if i >= v.len then -1 else if v.data.(i) = x then i else find (i + 1) in
+  let i = find 0 in
+  if i < 0 then false
+  else begin
+    Array.blit v.data (i + 1) v.data i (v.len - i - 1);
+    v.len <- v.len - 1;
+    v.data.(v.len) <- v.dummy;
+    true
+  end

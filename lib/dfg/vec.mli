@@ -28,3 +28,10 @@ val of_list : dummy:'a -> 'a list -> 'a t
 val copy : 'a t -> 'a t
 val exists : ('a -> bool) -> 'a t -> bool
 val for_all : ('a -> bool) -> 'a t -> bool
+
+val mem : 'a -> 'a t -> bool
+(** Structural-equality membership, O(length). *)
+
+val remove_first : 'a t -> 'a -> bool
+(** [remove_first v x] removes the first occurrence of [x], shifting the
+    tail left (order-preserving). Returns [false] if [x] is absent. *)

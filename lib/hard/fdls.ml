@@ -37,7 +37,7 @@ let attempt ~resources ~deadline g =
             pinned.(v) = None
             && (not (consumes_unit v))
             && asap.(v) <= cycle
-            && List.for_all (fun p -> finish p <= cycle) (Graph.preds g v)
+            && not (Graph.exists_pred (fun p -> finish p > cycle) g v)
           then begin
             pinned.(v) <- Some cycle;
             incr n_pinned
@@ -60,7 +60,7 @@ let attempt ~resources ~deadline g =
                 && consumes_unit v
                 && Resources.can_execute cls (Graph.op g v)
                 && asap.(v) <= cycle
-                && List.for_all (fun p -> finish p <= cycle) (Graph.preds g v))
+                && not (Graph.exists_pred (fun p -> finish p > cycle) g v))
               (Graph.vertices g)
           in
           let free = ref (available - busy_at cls cycle) in

@@ -9,9 +9,9 @@ let frames g ~deadline ~pinned =
   List.iter
     (fun v ->
       let lower =
-        List.fold_left
+        Graph.fold_preds
           (fun acc p -> max acc (asap.(p) + Graph.delay g p))
-          0 (Graph.preds g v)
+          0 g v
       in
       asap.(v) <-
         (match pinned.(v) with
@@ -25,10 +25,10 @@ let frames g ~deadline ~pinned =
   List.iter
     (fun v ->
       let upper =
-        List.fold_left
+        Graph.fold_succs
           (fun acc s -> min acc (alap.(s) - Graph.delay g v))
           (deadline - Graph.delay g v)
-          (Graph.succs g v)
+          g v
       in
       alap.(v) <- (match pinned.(v) with Some s -> s | None -> upper))
     (List.rev order);

@@ -39,11 +39,11 @@ let engine ?(priority = critical_path_priority) ~resources g =
     starts.(v) <- cycle;
     incr n_scheduled;
     dispatched := v :: !dispatched;
-    List.iter
+    Graph.iter_succs
       (fun s ->
         remaining_preds.(s) <- remaining_preds.(s) - 1;
         ready_at.(s) <- max ready_at.(s) (finish v))
-      (Graph.succs g v)
+      g v
   in
   let is_ready v cycle =
     starts.(v) < 0 && remaining_preds.(v) = 0 && ready_at.(v) <= cycle

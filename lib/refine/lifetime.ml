@@ -12,7 +12,7 @@ type interval = {
 let produces_register_value g v =
   match Graph.op g v with
   | Op.Const _ | Op.Store | Op.Output _ -> false
-  | _ -> Graph.succs g v <> []
+  | _ -> Graph.out_degree g v > 0
 
 let intervals schedule =
   let g = Schedule.graph schedule in
@@ -22,9 +22,9 @@ let intervals schedule =
         if produces_register_value g v then begin
           let birth = Schedule.finish schedule v in
           let death =
-            List.fold_left
+            Graph.fold_succs
               (fun acc c -> max acc (Schedule.start schedule c + 1))
-              (birth + 1) (Graph.succs g v)
+              (birth + 1) g v
           in
           { producer = v; birth; death } :: acc
         end

@@ -14,12 +14,14 @@ let extract state =
   (* how many of v's graph operands die if v is placed now: operand p
      dies when every consumer of p is placed (v being the last) *)
   let kills v =
-    List.length
-      (List.filter
-         (fun p ->
-           Lifetime.produces_register_value g p
-           && List.for_all (fun c -> c = v || placed c) (Graph.succs g p))
-         (Graph.preds g v))
+    Graph.fold_preds
+      (fun acc p ->
+        if
+          Lifetime.produces_register_value g p
+          && not (Graph.exists_succ (fun c -> c <> v && not (placed c)) g p)
+        then acc + 1
+        else acc)
+      0 g v
   in
   let births v = if Lifetime.produces_register_value g v then 1 else 0 in
   let unplaced = ref n in
@@ -34,9 +36,10 @@ let extract state =
         (fun v ->
           if not (placed v) then begin
             let ready =
-              List.for_all
-                (fun p -> placed p && finish p <= c)
-                (Graph.preds sg v)
+              not
+                (Graph.exists_pred
+                   (fun p -> (not (placed p)) || finish p > c)
+                   sg v)
             in
             if ready then begin
               let forced = alap.(v) <= c in

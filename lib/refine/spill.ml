@@ -9,10 +9,11 @@ type comparison = {
 let apply ?consumers state ~value =
   let g = Threaded_graph.graph state in
   let all_consumers =
-    List.filter
-      (fun c ->
-        match Graph.op g c with Op.Store -> false | _ -> true)
-      (Graph.succs g value)
+    List.rev
+      (Graph.fold_succs
+         (fun acc c ->
+           match Graph.op g c with Op.Store -> acc | _ -> c :: acc)
+         [] g value)
   in
   let consumers =
     match consumers with
@@ -70,11 +71,15 @@ let until_fits ~registers state =
          long as it has a consumer strictly past the pressure point to
          reload for (otherwise spilling cannot shorten its residency). *)
       let late_consumers v =
-        List.filter
-          (fun c ->
-            Schedule.start schedule c > !cycle
-            && match Graph.op g c with Op.Store -> false | _ -> true)
-          (Graph.succs g v)
+        List.rev
+          (Graph.fold_succs
+             (fun acc c ->
+               if
+                 Schedule.start schedule c > !cycle
+                 && match Graph.op g c with Op.Store -> false | _ -> true
+               then c :: acc
+               else acc)
+             [] g v)
       in
       let candidates =
         List.filter

@@ -21,6 +21,10 @@ type t = {
   mutable last_max_out_degree : int;
   mutable last_ordered_pairs : int option;
   mutable elapsed_ns : int;
+  mutable closure_rows_touched : int;
+  mutable closure_words_ored : int;
+  mutable closure_rebuilds : int;
+  mutable closure_incremental_updates : int;
 }
 
 type snapshot = {
@@ -41,6 +45,10 @@ type snapshot = {
   last_max_out_degree : int;
   last_ordered_pairs : int option;
   elapsed_ns : int;
+  closure_rows_touched : int;
+  closure_words_ored : int;
+  closure_rebuilds : int;
+  closure_incremental_updates : int;
 }
 
 let create () =
@@ -61,6 +69,10 @@ let create () =
     last_max_out_degree = 0;
     last_ordered_pairs = None;
     elapsed_ns = 0;
+    closure_rows_touched = 0;
+    closure_words_ored = 0;
+    closure_rebuilds = 0;
+    closure_incremental_updates = 0;
   }
 
 let sink (c : t) =
@@ -90,6 +102,13 @@ let sink (c : t) =
         | Some _ as p -> c.last_ordered_pairs <- p
         | None -> ());
         c.elapsed_ns <- c.elapsed_ns + s.elapsed_ns);
+    reach_update =
+      (fun ~rows ~words ~rebuilt ->
+        c.closure_rows_touched <- c.closure_rows_touched + rows;
+        c.closure_words_ored <- c.closure_words_ored + words;
+        if rebuilt then c.closure_rebuilds <- c.closure_rebuilds + 1
+        else
+          c.closure_incremental_updates <- c.closure_incremental_updates + 1);
   }
 
 let snapshot (c : t) : snapshot =
@@ -111,6 +130,10 @@ let snapshot (c : t) : snapshot =
     last_max_out_degree = c.last_max_out_degree;
     last_ordered_pairs = c.last_ordered_pairs;
     elapsed_ns = c.elapsed_ns;
+    closure_rows_touched = c.closure_rows_touched;
+    closure_words_ored = c.closure_words_ored;
+    closure_rebuilds = c.closure_rebuilds;
+    closure_incremental_updates = c.closure_incremental_updates;
   }
 
 let to_string (s : snapshot) =
@@ -131,5 +154,11 @@ let to_string (s : snapshot) =
   (match s.last_ordered_pairs with
   | Some p -> line "  ordered pairs |≺_S|   %8d" p
   | None -> ());
+  if s.closure_rebuilds + s.closure_incremental_updates > 0 then begin
+    line "  closure updates       %8d  (%d full rebuilds)"
+      s.closure_incremental_updates s.closure_rebuilds;
+    line "  closure rows touched  %8d  (%d words OR'd)" s.closure_rows_touched
+      s.closure_words_ored
+  end;
   line "  time in scheduler     %11.2f ms" (float_of_int s.elapsed_ns /. 1e6);
   Buffer.contents b

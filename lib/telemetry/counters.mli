@@ -25,6 +25,10 @@ type snapshot = {
   last_max_out_degree : int;
   last_ordered_pairs : int option;  (** most recent softness sample *)
   elapsed_ns : int;  (** wall time inside instrumented calls *)
+  closure_rows_touched : int;  (** reachability rows unioned by syncs *)
+  closure_words_ored : int;  (** 64-bit words OR'd by those unions *)
+  closure_rebuilds : int;  (** syncs forced to rebuild from scratch *)
+  closure_incremental_updates : int;  (** syncs served by journal replay *)
 }
 
 val create : unit -> t

@@ -37,6 +37,12 @@ module Sink = struct
         (** Zero-resource vertex committed as a free (thread-less) op. *)
     schedule_done : v:int -> thread:int option -> summary:summary -> unit;
         (** The call returned; [thread = None] for free vertices. *)
+    reach_update : rows:int -> words:int -> rebuilt:bool -> unit;
+        (** Reachability index caught up with the graph journal:
+            [rows] bitset rows touched and [words] 64-bit words OR'd by
+            this sync; [rebuilt] is true when an uncovered edge removal
+            forced a from-scratch closure instead of an incremental
+            update. *)
   }
 
   let null =
@@ -49,6 +55,7 @@ module Sink = struct
       edge_removed = (fun ~src:_ ~dst:_ -> ());
       free_placed = (fun ~v:_ ~name:_ -> ());
       schedule_done = (fun ~v:_ ~thread:_ ~summary:_ -> ());
+      reach_update = (fun ~rows:_ ~words:_ ~rebuilt:_ -> ());
     }
 
   let tee a b =
@@ -85,6 +92,10 @@ module Sink = struct
         (fun ~v ~thread ~summary ->
           a.schedule_done ~v ~thread ~summary;
           b.schedule_done ~v ~thread ~summary);
+      reach_update =
+        (fun ~rows ~words ~rebuilt ->
+          a.reach_update ~rows ~words ~rebuilt;
+          b.reach_update ~rows ~words ~rebuilt);
     }
 end
 
@@ -155,6 +166,7 @@ type event =
   | Edge_removed of { src : int; dst : int }
   | Free_placed of { v : int; name : string }
   | Schedule_done of { v : int; thread : int option; summary : summary }
+  | Reach_update of { rows : int; words : int; rebuilt : bool }
 
 type timed = { at_ns : int; event : event }
 
@@ -182,6 +194,8 @@ module Recorder = struct
       free_placed = (fun ~v ~name -> push r (Free_placed { v; name }));
       schedule_done =
         (fun ~v ~thread ~summary -> push r (Schedule_done { v; thread; summary }));
+      reach_update =
+        (fun ~rows ~words ~rebuilt -> push r (Reach_update { rows; words; rebuilt }));
     }
 
   let events r = List.rev r.rev_events

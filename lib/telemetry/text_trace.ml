@@ -36,6 +36,10 @@ let to_string ?(vertex = default_vertex) ?(thread = string_of_int)
         line at "  edge -  %s -> %s (implied)" (vertex src) (vertex dst)
       | Events.Free_placed { v; name } ->
         line at "  free placement of %s (%s)" (vertex v) name
+      | Events.Reach_update { rows; words; rebuilt } ->
+        line at "reach %s: %d rows, %d words OR'd"
+          (if rebuilt then "rebuild" else "update")
+          rows words
       | Events.Schedule_done { v = _; thread = k; summary } ->
         let where =
           match k with

@@ -64,6 +64,17 @@ let test_vec_iterators () =
   Vec.set copy 0 99;
   check Alcotest.int "copy is deep" 1 (Vec.get v 0)
 
+let test_vec_remove_first () =
+  let v = Vec.of_list ~dummy:0 [ 1; 2; 3; 2; 4 ] in
+  check Alcotest.bool "mem" true (Vec.mem 2 v);
+  check Alcotest.bool "removed" true (Vec.remove_first v 2);
+  check intl "only first occurrence, order kept" [ 1; 3; 2; 4 ]
+    (Vec.to_list v);
+  check Alcotest.bool "absent" false (Vec.remove_first v 99);
+  check intl "unchanged on miss" [ 1; 3; 2; 4 ] (Vec.to_list v);
+  check Alcotest.bool "removed last occurrence" true (Vec.remove_first v 4);
+  check Alcotest.bool "4 gone" false (Vec.mem 4 v)
+
 (* --- Op ------------------------------------------------------------ *)
 
 let test_op_of_string_roundtrip () =
@@ -174,6 +185,64 @@ let test_graph_replace_operand () =
   check intl "preds d" [ a; c ] (Graph.preds g d);
   check Alcotest.bool "a->d now" true (Graph.mem_edge g a d);
   check Alcotest.bool "b->d gone" false (Graph.mem_edge g b d)
+
+(* The n_edges decrement branch: rewiring an operand onto a vertex that
+   already feeds the target merges two edges into one. *)
+let test_graph_replace_operand_merge () =
+  let g, _, b, c, d = diamond () in
+  Graph.replace_operand g d ~old_pred:b ~new_pred:c;
+  check intl "preds d merge" [ c; c ] (Graph.preds g d);
+  check Alcotest.bool "b->d gone" false (Graph.mem_edge g b d);
+  check Alcotest.bool "c->d kept" true (Graph.mem_edge g c d);
+  check Alcotest.int "edge count decremented" 3 (Graph.n_edges g);
+  check Alcotest.int "operand slots still 2" 2 (Graph.in_degree g d);
+  check Alcotest.int "c out-degree deduplicated" 1 (Graph.out_degree g c)
+
+(* After a merge the old_pred may still feed the target through another
+   operand slot: the shared edge must survive and accounting stay
+   exact. *)
+let test_graph_replace_operand_duplicate_old () =
+  let g, a, b, c, d = diamond () in
+  Graph.replace_operand g d ~old_pred:b ~new_pred:c;
+  (* preds d = [c; c]; split one slot back out to a *)
+  Graph.replace_operand g d ~old_pred:c ~new_pred:a;
+  check intl "preds d split" [ a; c ] (Graph.preds g d);
+  check Alcotest.bool "c->d survives the split" true (Graph.mem_edge g c d);
+  check Alcotest.bool "a->d added" true (Graph.mem_edge g a d);
+  check Alcotest.int "edge count restored" 4 (Graph.n_edges g)
+
+(* Rewiring a slot to the vertex it already reads is a complete no-op:
+   no edge churn, no succs reordering, no journal growth. *)
+let test_graph_replace_operand_self () =
+  let g, _, b, _, d = diamond () in
+  let gen = Graph.generation g in
+  let succs_before = Graph.succs g b in
+  Graph.replace_operand g d ~old_pred:b ~new_pred:b;
+  check intl "succs b unchanged" succs_before (Graph.succs g b);
+  check Alcotest.int "edge count unchanged" 4 (Graph.n_edges g);
+  check Alcotest.int "generation unchanged" gen (Graph.generation g)
+
+let test_graph_generation_journal () =
+  let g = Graph.create () in
+  check Alcotest.int "fresh graph at generation 0" 0 (Graph.generation g);
+  let a = Graph.add_vertex g Op.Add in
+  let b = Graph.add_vertex g Op.Mul in
+  Graph.add_edge g a b;
+  Graph.add_edge g a b (* duplicate: ignored, not journalled *);
+  check Alcotest.int "three mutations" 3 (Graph.generation g);
+  let mid = Graph.generation g in
+  let c = Graph.add_vertex g Op.Sub in
+  Graph.add_edge g b c;
+  Graph.remove_edge g a b;
+  check Alcotest.bool "journal suffix in order" true
+    (Graph.mutations_since g mid
+    = [ Graph.Added_vertex c; Graph.Added_edge (b, c);
+        Graph.Removed_edge (a, b) ]);
+  check Alcotest.bool "caught-up suffix empty" true
+    (Graph.mutations_since g (Graph.generation g) = []);
+  Alcotest.check_raises "future generation rejected"
+    (Invalid_argument "Graph.mutations_since: generation 99 not in [0,6]")
+    (fun () -> ignore (Graph.mutations_since g 99))
 
 let test_graph_is_dag () =
   let g, _, _, _, _ = diamond () in
@@ -627,6 +696,60 @@ let prop_reach_transitive =
       done;
       !ok)
 
+(* Growth-trace oracle: replay a random add_vertex/add_edge sequence
+   into one incrementally-maintained Reach and assert it matches a
+   from-scratch closure after every step. This is the contract
+   [Threaded_graph.sync] relies on when it replays the mutation journal
+   instead of rebuilding. *)
+let prop_incremental_reach_oracle =
+  QCheck.Test.make ~name:"incremental Reach = of_graph on growth traces"
+    ~count:60
+    QCheck.(pair (int_range 2 20) (int_range 0 10_000))
+    (fun (n_target, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let g = Graph.create () in
+      let r = Reach.of_graph g in
+      let agree () =
+        let fresh = Reach.of_graph g in
+        let n = Graph.n_vertices g in
+        Reach.size r = n
+        && begin
+             let ok = ref true in
+             for u = 0 to n - 1 do
+               for v = 0 to n - 1 do
+                 if
+                   u <> v
+                   && Reach.precedes r u v <> Reach.precedes fresh u v
+                 then ok := false
+               done
+             done;
+             !ok
+           end
+      in
+      let ok = ref true in
+      for _ = 1 to n_target do
+        ignore (Graph.add_vertex g Op.Add);
+        ignore (Reach.add_vertex r);
+        if !ok && not (agree ()) then ok := false;
+        (* a few random edges, always low id -> high id, so the graph
+           stays a DAG without a cycle check *)
+        let n = Graph.n_vertices g in
+        if n >= 2 then
+          for _ = 1 to Random.State.int rng 3 do
+            let v = 1 + Random.State.int rng (n - 1) in
+            let u = Random.State.int rng v in
+            if not (Graph.mem_edge g u v) then begin
+              Graph.add_edge g u v;
+              Reach.add_edge r u v
+            end
+            else
+              (* redundant closure updates must be harmless *)
+              Reach.add_edge r u v;
+            if !ok && not (agree ()) then ok := false
+          done
+      done;
+      !ok)
+
 let prop_eval_deterministic =
   QCheck.Test.make ~name:"expression trees evaluate consistently" ~count:50
     QCheck.(pair (int_range 1 5) (int_range 0 1000))
@@ -653,6 +776,7 @@ let qcheck_cases =
       prop_lemma5;
       prop_critical_path_consistent;
       prop_reach_transitive;
+      prop_incremental_reach_oracle;
       prop_eval_deterministic;
       prop_reduction_preserves_reachability;
     ]
@@ -666,6 +790,7 @@ let () =
           Alcotest.test_case "pop/clear" `Quick test_vec_pop_clear;
           Alcotest.test_case "bounds" `Quick test_vec_bounds;
           Alcotest.test_case "iterators/copy" `Quick test_vec_iterators;
+          Alcotest.test_case "mem/remove_first" `Quick test_vec_remove_first;
         ] );
       ( "op",
         [
@@ -689,6 +814,14 @@ let () =
           Alcotest.test_case "remove edge" `Quick test_graph_remove_edge;
           Alcotest.test_case "replace operand" `Quick
             test_graph_replace_operand;
+          Alcotest.test_case "replace operand merge" `Quick
+            test_graph_replace_operand_merge;
+          Alcotest.test_case "replace operand duplicate old" `Quick
+            test_graph_replace_operand_duplicate_old;
+          Alcotest.test_case "replace operand self" `Quick
+            test_graph_replace_operand_self;
+          Alcotest.test_case "generation/journal" `Quick
+            test_graph_generation_journal;
           Alcotest.test_case "is_dag" `Quick test_graph_is_dag;
           Alcotest.test_case "delays" `Quick test_graph_delay_accessors;
           Alcotest.test_case "copy" `Quick test_graph_copy_independent;

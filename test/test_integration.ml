@@ -286,7 +286,7 @@ let test_shipped_behaviors_flow_end_to_end () =
 let test_state_stats_reflect_lemma7 () =
   let g = (Hls_bench.Suite.find "EF").build () in
   let state = Soft.Scheduler.run ~resources:R.fig3_2alu_2mul g in
-  let stats = T.stats state in
+  let stats = T.stats ~with_softness:true state in
   let k = T.n_threads state in
   check Alcotest.int "everything scheduled" (Graph.n_vertices g)
     stats.T.n_scheduled;
@@ -294,9 +294,11 @@ let test_state_stats_reflect_lemma7 () =
     (stats.T.max_thread_in_degree <= k);
   check Alcotest.bool "thread out-degree bounded" true
     (stats.T.max_thread_out_degree <= k);
-  check Alcotest.bool "softer than total order" true
-    (stats.T.ordered_pairs
-    < Graph.n_vertices g * (Graph.n_vertices g - 1) / 2);
+  (match stats.T.ordered_pairs with
+  | None -> Alcotest.fail "with_softness:true must sample ordered pairs"
+  | Some pairs ->
+    check Alcotest.bool "softer than total order" true
+      (pairs < Graph.n_vertices g * (Graph.n_vertices g - 1) / 2));
   check Alcotest.int "free = scheduled - threaded"
     (stats.T.n_scheduled - stats.T.n_in_threads)
     stats.T.n_free
