@@ -56,10 +56,19 @@ let json_escape s =
     s;
   Buffer.contents b
 
+(* Stamp results with the report schema version and the source
+   revision, so archived BENCH_softsched.json files stay attributable
+   long after the run. *)
+let bench_schema_version = 1
+
 let write_json file =
   let oc = open_out file in
   let rows = List.rev !json_results in
-  Printf.fprintf oc "{\n  \"suite\": \"softsched\",\n  \"results\": [";
+  Printf.fprintf oc
+    "{\n  \"suite\": \"softsched\",\n  \"schema_version\": %d,\n  \
+     \"git\": \"%s\",\n  \"results\": ["
+    bench_schema_version
+    (json_escape (Qor.Report.git_describe ()));
   List.iteri
     (fun i (sec, name, value, unit) ->
       Printf.fprintf oc

@@ -6,10 +6,14 @@
      dot        emit the dataflow graph (or its schedule) as Graphviz
      verilog    run the full HLS flow and emit RTL
      sim        schedule, bind and simulate with given input values
+     report     run the whole flow under QoR spans, emit a run-report
+     diff       compare two run-reports, exit nonzero on regression
 
-   schedule/table/verilog accept --stats (telemetry counters), --trace
-   (Chrome trace_event JSON for chrome://tracing / Perfetto) and
-   --trace-text (human-readable decision log). *)
+   schedule/table/dot/verilog/sim all accept the same telemetry flag
+   bundle: --stats (telemetry counters), --trace (Chrome trace_event
+   JSON for chrome://tracing / Perfetto) and --trace-text
+   (human-readable decision log). report adds --audit[=RATE], the
+   online invariant auditor. *)
 
 open Cmdliner
 
@@ -324,11 +328,18 @@ let table_cmd =
 
 (* --- dot ----------------------------------------------------------- *)
 
-let run_dot design with_schedule resources =
+let run_dot design with_schedule resources tel =
   term_of_failure @@ fun () ->
   let g = graph_of_spec design in
   if with_schedule then begin
-    let s = Soft.Scheduler.run_to_schedule ~resources g in
+    let s, _ =
+      Tel_cli.run tel
+        ~vertex:(fun v -> Dfg.Graph.name g v)
+        ~tracks_of:(fun (_, state) -> Tel_cli.tracks_of_state state)
+        (fun () ->
+          let state = Soft.Scheduler.run ~resources g in
+          (Soft.Threaded_graph.to_schedule state, state))
+    in
     print_string (Dfg.Dot.of_schedule g ~starts:(Hard.Schedule.starts s))
   end
   else
@@ -341,7 +352,10 @@ let dot_cmd =
   in
   Cmd.v
     (Cmd.info "dot" ~doc:"Emit Graphviz (critical path highlighted)")
-    Term.(ret (const run_dot $ design_arg $ with_schedule $ resources_arg))
+    Term.(
+      ret
+        (const run_dot $ design_arg $ with_schedule $ resources_arg
+        $ Tel_cli.term))
 
 (* --- verilog ------------------------------------------------------- *)
 
@@ -368,7 +382,7 @@ let verilog_cmd =
 
 (* --- sim ----------------------------------------------------------- *)
 
-let run_sim design resources inputs vcd_path testbench =
+let run_sim design resources inputs vcd_path testbench tel =
   term_of_failure @@ fun () ->
   let g = graph_of_spec design in
   let env =
@@ -379,7 +393,12 @@ let run_sim design resources inputs vcd_path testbench =
         | _ -> failwith (Printf.sprintf "bad input binding %S (want name=int)" kv))
       inputs
   in
-  let state = Soft.Scheduler.run ~resources g in
+  let state =
+    Tel_cli.run tel
+      ~vertex:(fun v -> Dfg.Graph.name g v)
+      ~tracks_of:Tel_cli.tracks_of_state
+      (fun () -> Soft.Scheduler.run ~resources g)
+  in
   let binding = Rtl.Binding.of_state state in
   (match vcd_path with
   | Some path ->
@@ -425,7 +444,7 @@ let sim_cmd =
     Term.(
       ret
         (const run_sim $ design_arg $ resources_arg $ inputs $ vcd
-        $ testbench))
+        $ testbench $ Tel_cli.term))
 
 (* --- map ----------------------------------------------------------- *)
 
@@ -501,6 +520,103 @@ let vliw_cmd =
     (Cmd.info "vliw" ~doc:"Emit VLIW assembly for a scheduled design")
     Term.(ret (const run_vliw $ design_arg $ resources_arg))
 
+(* --- report --------------------------------------------------------- *)
+
+let run_report design resources meta_s audit json_path =
+  term_of_failure @@ fun () ->
+  let meta = meta_of_name ~resources meta_s in
+  let report =
+    Qor.Flow.run ?audit_rate:audit ~meta ~tool_version:Version.version
+      ~resources ~design
+      ~build:(fun () -> graph_of_spec design)
+      ()
+  in
+  print_string (Qor.Report.summary report);
+  match json_path with
+  | Some path ->
+    (try Qor.Report.write ~path report with
+    | Sys_error m -> failwith (Printf.sprintf "cannot write report: %s" m));
+    Printf.printf "wrote %s\n" path
+  | None -> ()
+
+let audit_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some 1) (some int) None
+    & info [ "audit" ] ~docv:"RATE"
+        ~doc:
+          "Run the online invariant auditor: every RATE-th scheduling \
+           commit replays the live state through the full invariant \
+           battery (correctness, threading, acyclicity, Lemma 7 degree \
+           bound). RATE defaults to 1 — audit every commit. Violation \
+           counts land in the report.")
+
+let json_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:"Also write the report as schema-versioned JSON to $(docv).")
+
+let report_cmd =
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Run the full HLS flow under QoR spans and emit a run-report \
+          (per-phase wall clock, allocation, telemetry-counter deltas and \
+          quality-of-results metrics)")
+    Term.(
+      ret
+        (const run_report $ design_arg $ resources_arg $ meta_arg $ audit_arg
+        $ json_out_arg))
+
+(* --- diff ----------------------------------------------------------- *)
+
+let run_diff baseline current max_regress =
+  term_of_failure @@ fun () ->
+  let load path =
+    match Qor.Report.load path with
+    | Ok r -> r
+    | Error m -> failwith (Printf.sprintf "%s: %s" path m)
+  in
+  let b = load baseline in
+  let c = load current in
+  match
+    Qor.Diff.compare ~max_regress_pct:max_regress ~baseline:b ~current:c ()
+  with
+  | Error m -> failwith m
+  | Ok result ->
+    print_string (Qor.Diff.render result);
+    if not (Qor.Diff.ok result) then exit 1
+
+let diff_cmd =
+  let baseline =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"BASELINE" ~doc:"Baseline run-report (JSON).")
+  in
+  let current =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"CURRENT" ~doc:"Current run-report (JSON).")
+  in
+  let max_regress =
+    Arg.(
+      value & opt float 0.0
+      & info [ "max-regress" ] ~docv:"PCT"
+          ~doc:
+            "Tolerated worsening per gated metric, in percent of the \
+             baseline value. The default 0 fails on any worsening.")
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Compare two QoR run-reports metric by metric; exit 1 when a \
+          gated metric regressed past --max-regress (the CI QoR gate)")
+    Term.(ret (const run_diff $ baseline $ current $ max_regress))
+
 (* --- selfcheck ------------------------------------------------------ *)
 
 let run_selfcheck design resources =
@@ -559,4 +675,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ schedule_cmd; table_cmd; dot_cmd; verilog_cmd; sim_cmd;
-            map_cmd; retime_cmd; vliw_cmd; selfcheck_cmd ]))
+            map_cmd; retime_cmd; vliw_cmd; selfcheck_cmd; report_cmd;
+            diff_cmd ]))

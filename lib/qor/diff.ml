@@ -1,0 +1,142 @@
+(* Report-vs-report regression gate. Pure: the CLI decides the exit
+   code from [ok]. *)
+
+type finding = {
+  phase : string;
+  name : string;
+  baseline : float;
+  current : float;
+  change_pct : float;
+  direction : Metrics.direction;
+}
+
+type result = {
+  regressions : finding list;
+  improvements : finding list;
+  unchanged : int;
+  missing : (string * string) list;
+  added : (string * string) list;
+}
+
+let gated (m : Metrics.metric) =
+  match m.direction with
+  | Metrics.Lower_better | Metrics.Higher_better -> true
+  | Metrics.Info -> false
+
+let gated_metrics (r : Report.t) =
+  List.concat_map
+    (fun (s : Metrics.span) ->
+      List.filter_map
+        (fun (m : Metrics.metric) ->
+          if gated m then Some ((s.Metrics.phase, m.Metrics.name), m)
+          else None)
+        s.Metrics.metrics)
+    r.Report.spans
+
+(* Signed movement in the bad direction, as a percentage of the
+   baseline. A zero baseline cannot anchor a percentage: any worsening
+   from zero counts as 100%. *)
+let badness direction ~baseline ~current =
+  let worse =
+    match direction with
+    | Metrics.Lower_better -> current -. baseline
+    | Metrics.Higher_better -> baseline -. current
+    | Metrics.Info -> 0.0
+  in
+  if Float.abs baseline > 1e-12 then 100.0 *. worse /. Float.abs baseline
+  else if worse > 0.0 then 100.0
+  else if worse < 0.0 then -100.0
+  else 0.0
+
+let compare ?(max_regress_pct = 0.0) ~(baseline : Report.t)
+    ~(current : Report.t) () =
+  if baseline.Report.design <> current.Report.design then
+    Error
+      (Printf.sprintf "design mismatch: baseline is %S, current is %S"
+         baseline.Report.design current.Report.design)
+  else if baseline.Report.resources <> current.Report.resources then
+    Error
+      (Printf.sprintf
+         "resource mismatch: baseline under %S, current under %S"
+         baseline.Report.resources current.Report.resources)
+  else begin
+    let base = gated_metrics baseline in
+    let cur = gated_metrics current in
+    let regressions = ref [] in
+    let improvements = ref [] in
+    let unchanged = ref 0 in
+    let missing = ref [] in
+    List.iter
+      (fun ((key, bm) : (string * string) * Metrics.metric) ->
+        match List.assoc_opt key cur with
+        | None -> missing := key :: !missing
+        | Some cm ->
+          let change_pct =
+            badness bm.Metrics.direction ~baseline:bm.Metrics.value
+              ~current:cm.Metrics.value
+          in
+          let finding =
+            {
+              phase = fst key;
+              name = snd key;
+              baseline = bm.Metrics.value;
+              current = cm.Metrics.value;
+              change_pct;
+              direction = bm.Metrics.direction;
+            }
+          in
+          if change_pct > max_regress_pct then
+            regressions := finding :: !regressions
+          else if change_pct < 0.0 then
+            improvements := finding :: !improvements
+          else incr unchanged)
+      base;
+    let added =
+      List.filter_map
+        (fun (key, _) ->
+          if List.mem_assoc key base then None else Some key)
+        cur
+    in
+    Ok
+      {
+        regressions = List.rev !regressions;
+        improvements = List.rev !improvements;
+        unchanged = !unchanged;
+        missing = List.rev !missing;
+        added;
+      }
+  end
+
+let ok r = r.regressions = [] && r.missing = []
+
+let render r =
+  let b = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun l -> Buffer.add_string b (l ^ "\n")) fmt in
+  let describe verb (f : finding) =
+    line "  %s %s/%s: %g -> %g (%+.1f%% %s, %s is better)" verb f.phase
+      f.name f.baseline f.current f.change_pct
+      (if f.change_pct > 0.0 then "worse" else "better")
+      (match f.direction with
+      | Metrics.Lower_better -> "lower"
+      | Metrics.Higher_better -> "higher"
+      | Metrics.Info -> "n/a")
+  in
+  if r.regressions <> [] then begin
+    line "REGRESSED %d metric(s):" (List.length r.regressions);
+    List.iter (describe "REGRESSION") r.regressions
+  end;
+  if r.missing <> [] then begin
+    line "MISSING %d gated metric(s) from the current report:"
+      (List.length r.missing);
+    List.iter (fun (p, n) -> line "  missing %s/%s" p n) r.missing
+  end;
+  if r.improvements <> [] then begin
+    line "improved %d metric(s):" (List.length r.improvements);
+    List.iter (describe "improved") r.improvements
+  end;
+  if r.added <> [] then
+    line "%d gated metric(s) are new in the current report" (List.length r.added);
+  line "%d gated metric(s) unchanged" r.unchanged;
+  line
+    (if ok r then "QoR gate: PASS" else "QoR gate: FAIL");
+  Buffer.contents b

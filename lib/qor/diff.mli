@@ -1,0 +1,42 @@
+(** Metric-by-metric comparison of two QoR run-reports — the CI
+    regression gate behind [softsched diff].
+
+    Only {e gated} metrics participate (direction [Lower_better] or
+    [Higher_better]); [Info] metrics — wall clock, allocation, counter
+    deltas — are machine-dependent and never gate. A gated metric that
+    moved the wrong way by more than the tolerance, or that vanished
+    from the current report, is a regression. *)
+
+type finding = {
+  phase : string;
+  name : string;
+  baseline : float;
+  current : float;
+  change_pct : float;
+      (** signed movement in the {e bad} direction: positive = worse *)
+  direction : Metrics.direction;
+}
+
+type result = {
+  regressions : finding list;
+  improvements : finding list;
+  unchanged : int;  (** gated metrics inside tolerance *)
+  missing : (string * string) list;
+      (** (phase, metric) gated in the baseline but absent now *)
+  added : (string * string) list;
+      (** gated metrics the baseline does not know — informational *)
+}
+
+val compare :
+  ?max_regress_pct:float -> baseline:Report.t -> current:Report.t ->
+  unit -> (result, string) Stdlib.result
+(** [max_regress_pct] defaults to [0.] (any worsening is a regression).
+    [Error _] when the two reports describe different designs or
+    resource configurations — comparing those is a usage mistake, not a
+    QoR regression. *)
+
+val ok : result -> bool
+(** No regressions and nothing missing. *)
+
+val render : result -> string
+(** Human-readable verdict, offending metrics first. *)

@@ -1,0 +1,46 @@
+(** A minimal JSON tree, parser and printer.
+
+    The QoR layer speaks JSON in three places — the run report, the
+    regression diff and the exporter round-trip tests — and the project
+    deliberately carries no external JSON dependency, so this module is
+    the single shared implementation. It covers exactly the JSON the
+    repository emits: objects, arrays, strings with the usual escapes
+    (including [\uXXXX]), numbers, booleans and null. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+(** Carries a human-readable message with the byte offset. *)
+
+val parse : string -> t
+(** @raise Parse_error on malformed input (including trailing bytes). *)
+
+val parse_result : string -> (t, string) result
+(** Exception-free {!parse}. *)
+
+val to_string : ?minify:bool -> t -> string
+(** Serialises with two-space indentation ([minify] drops whitespace).
+    Numbers that hold integral values print without a decimal point;
+    other numbers print with enough digits to round-trip. *)
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] on anything else. *)
+
+val member_exn : string -> t -> t
+(** @raise Parse_error if the field is absent or [t] is not an object. *)
+
+val to_num : t -> float option
+val to_str : t -> string option
+val to_arr : t -> t list option
+
+val num : float -> t
+(** {!Num}, as a function (handy in folds). *)
+
+val int : int -> t
+val str : string -> t

@@ -136,6 +136,70 @@ let snapshot (c : t) : snapshot =
     closure_incremental_updates = c.closure_incremental_updates;
   }
 
+(* Key/value view of a snapshot, keys sorted, used by the aligned
+   [dump], the JSON export and the QoR report's per-phase counter
+   deltas. Gauge-like fields keep their [last_] prefix so delta-taking
+   clients can tell them from the monotone counters. *)
+let to_alist (s : snapshot) : (string * float) list =
+  let f = float_of_int in
+  let rows =
+    [
+      ("candidates", f s.candidates);
+      ("closure_incremental_updates", f s.closure_incremental_updates);
+      ("closure_rebuilds", f s.closure_rebuilds);
+      ("closure_rows_touched", f s.closure_rows_touched);
+      ("closure_words_ored", f s.closure_words_ored);
+      ("cross_edges_touched", f s.cross_edges_touched);
+      ("edges_added", f s.edges_added);
+      ("edges_removed", f s.edges_removed);
+      ("elapsed_ns", f s.elapsed_ns);
+      ("free_placements", f s.free_placements);
+      ("last_diameter", f s.last_diameter);
+      ("last_max_in_degree", f s.last_max_in_degree);
+      ("last_max_out_degree", f s.last_max_out_degree);
+      ("last_state_edges", f s.last_state_edges);
+      ("max_in_degree_observed", f s.max_in_degree_observed);
+      ("max_out_degree_observed", f s.max_out_degree_observed);
+      ("max_positions_in_call", f s.max_positions_in_call);
+      ("positions_scanned", f s.positions_scanned);
+      ("schedule_calls", f s.schedule_calls);
+      ("tie_breaks", f s.tie_breaks);
+    ]
+  in
+  let rows =
+    match s.last_ordered_pairs with
+    | Some p -> ("last_ordered_pairs", f p) :: rows
+    | None -> rows
+  in
+  List.sort (fun (a, _) (b, _) -> compare a b) rows
+
+let dump (s : snapshot) =
+  let rows = to_alist s in
+  let width =
+    List.fold_left (fun acc (k, _) -> max acc (String.length k)) 0 rows
+  in
+  let b = Buffer.create 512 in
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string b (Printf.sprintf "%-*s %12.0f\n" width k v))
+    rows;
+  Buffer.contents b
+
+let json_number v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.12g" v
+
+let to_json (s : snapshot) =
+  let b = Buffer.create 512 in
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "\"%s\":%s" k (json_number v)))
+    (to_alist s);
+  Buffer.add_char b '}';
+  Buffer.contents b
+
 let to_string (s : snapshot) =
   let b = Buffer.create 512 in
   let line fmt = Printf.ksprintf (fun l -> Buffer.add_string b (l ^ "\n")) fmt in

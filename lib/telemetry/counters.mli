@@ -39,4 +39,18 @@ val sink : t -> Events.Sink.t
 val snapshot : t -> snapshot
 
 val to_string : snapshot -> string
-(** Human-readable block, one counter per line. *)
+(** Human-readable block, one counter per line (what [--stats] prints). *)
+
+val to_alist : snapshot -> (string * float) list
+(** Key/value view, keys sorted ascending. Gauge fields carry a [last_]
+    prefix (most-recent value, not a monotone count);
+    [last_ordered_pairs] is present only when a softness sample was
+    taken. *)
+
+val dump : snapshot -> string
+(** One [key value] line per counter, keys sorted and aligned — the
+    stable machine-greppable sibling of {!to_string}. *)
+
+val to_json : snapshot -> string
+(** The {!to_alist} rows as one JSON object (sorted keys). Embedded
+    verbatim in the QoR run-report. *)

@@ -224,151 +224,9 @@ let test_sink_restored () =
 
 (* --- exporters ------------------------------------------------------ *)
 
-(* A minimal JSON reader — just enough to state "this is well-formed
-   JSON" and poke at the structure, without an external dependency. *)
-module Json = struct
-  type t =
-    | Null
-    | Bool of bool
-    | Num of float
-    | Str of string
-    | Arr of t list
-    | Obj of (string * t) list
-
-  exception Bad of string
-
-  let parse (s : string) : t =
-    let n = String.length s in
-    let pos = ref 0 in
-    let fail m = raise (Bad (Printf.sprintf "%s at %d" m !pos)) in
-    let peek () = if !pos < n then Some s.[!pos] else None in
-    let advance () = incr pos in
-    let rec skip_ws () =
-      match peek () with
-      | Some (' ' | '\t' | '\n' | '\r') ->
-        advance ();
-        skip_ws ()
-      | _ -> ()
-    in
-    let expect c =
-      if !pos < n && s.[!pos] = c then advance ()
-      else fail (Printf.sprintf "expected %c" c)
-    in
-    let literal word value =
-      String.iter expect word;
-      value
-    in
-    let string_body () =
-      let b = Buffer.create 16 in
-      let rec go () =
-        if !pos >= n then fail "unterminated string"
-        else
-          match s.[!pos] with
-          | '"' -> advance ()
-          | '\\' ->
-            advance ();
-            (match peek () with
-            | Some 'u' ->
-              advance ();
-              if !pos + 4 > n then fail "bad \\u escape";
-              ignore (int_of_string ("0x" ^ String.sub s !pos 4));
-              pos := !pos + 4
-            | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') ->
-              Buffer.add_char b s.[!pos];
-              advance ()
-            | _ -> fail "bad escape");
-            go ()
-          | c ->
-            Buffer.add_char b c;
-            advance ();
-            go ()
-      in
-      go ();
-      Buffer.contents b
-    in
-    let number () =
-      let start = !pos in
-      let is_num_char = function
-        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-        | _ -> false
-      in
-      while !pos < n && is_num_char s.[!pos] do
-        advance ()
-      done;
-      match float_of_string_opt (String.sub s start (!pos - start)) with
-      | Some f -> Num f
-      | None -> fail "bad number"
-    in
-    let rec value () =
-      skip_ws ();
-      match peek () with
-      | Some '{' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some '}' then begin
-          advance ();
-          Obj []
-        end
-        else begin
-          let rec members acc =
-            skip_ws ();
-            expect '"';
-            let key = string_body () in
-            skip_ws ();
-            expect ':';
-            let v = value () in
-            skip_ws ();
-            match peek () with
-            | Some ',' ->
-              advance ();
-              members ((key, v) :: acc)
-            | Some '}' ->
-              advance ();
-              Obj (List.rev ((key, v) :: acc))
-            | _ -> fail "expected , or }"
-          in
-          members []
-        end
-      | Some '[' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some ']' then begin
-          advance ();
-          Arr []
-        end
-        else begin
-          let rec elements acc =
-            let v = value () in
-            skip_ws ();
-            match peek () with
-            | Some ',' ->
-              advance ();
-              elements (v :: acc)
-            | Some ']' ->
-              advance ();
-              Arr (List.rev (v :: acc))
-            | _ -> fail "expected , or ]"
-          in
-          elements []
-        end
-      | Some '"' ->
-        advance ();
-        Str (string_body ())
-      | Some 't' -> literal "true" (Bool true)
-      | Some 'f' -> literal "false" (Bool false)
-      | Some 'n' -> literal "null" Null
-      | Some _ -> number ()
-      | None -> fail "unexpected end"
-    in
-    let v = value () in
-    skip_ws ();
-    if !pos <> n then fail "trailing garbage";
-    v
-
-  let member key = function
-    | Obj fields -> List.assoc_opt key fields
-    | _ -> None
-end
+(* Exporter output is parsed back with the shared JSON reader from the
+   QoR library — the same code path the `softsched diff` gate trusts. *)
+module Json = Qor.Json
 
 let test_chrome_trace_json () =
   let g = build "HAL" in
@@ -381,7 +239,8 @@ let test_chrome_trace_json () =
   let json =
     match Json.parse json_text with
     | j -> j
-    | exception Json.Bad m -> Alcotest.failf "malformed trace JSON: %s" m
+    | exception Json.Parse_error m ->
+      Alcotest.failf "malformed trace JSON: %s" m
   in
   let trace_events =
     match Json.member "traceEvents" json with
@@ -425,6 +284,40 @@ let test_chrome_trace_json () =
          phase e = "C"
          && Json.member "name" e = Some (Json.Str "diameter"))
        trace_events)
+
+let test_counters_json () =
+  let g = build "HAL" in
+  let _, snap, _ = record_run g in
+  let json =
+    match Json.parse (Tel.Counters.to_json snap) with
+    | j -> j
+    | exception Json.Parse_error m ->
+      Alcotest.failf "malformed counters JSON: %s" m
+  in
+  let pairs = Tel.Counters.to_alist snap in
+  check Alcotest.bool "snapshot not empty" true (pairs <> []);
+  List.iter
+    (fun (k, v) ->
+      match Json.member k json with
+      | Some (Json.Num n) -> check (Alcotest.float 1e-9) k v n
+      | _ -> Alcotest.failf "counter %s missing from JSON" k)
+    pairs;
+  let keys = List.map fst pairs in
+  check Alcotest.bool "keys sorted" true (List.sort compare keys = keys);
+  (* dump: one aligned line per counter, numbers in a fixed column *)
+  let lines =
+    List.filter
+      (fun l -> String.length l > 0)
+      (String.split_on_char '\n' (Tel.Counters.dump snap))
+  in
+  check Alcotest.int "one dump line per counter" (List.length pairs)
+    (List.length lines);
+  match List.map String.length lines with
+  | [] -> ()
+  | w :: rest ->
+    List.iter
+      (fun w' -> check Alcotest.int "lines padded to equal width" w w')
+      rest
 
 let test_text_trace () =
   let g = build "HAL" in
@@ -489,6 +382,7 @@ let () =
         [
           Alcotest.test_case "chrome trace well-formed" `Quick
             test_chrome_trace_json;
+          Alcotest.test_case "counters json + dump" `Quick test_counters_json;
           Alcotest.test_case "text trace" `Quick test_text_trace;
         ] );
     ]
