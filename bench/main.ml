@@ -61,8 +61,12 @@ let json_escape s =
    long after the run. *)
 let bench_schema_version = 1
 
+(* Atomic: a crash (or a concurrent reader) never sees a half-written
+   BENCH_softsched.json — the content lands under a tmp name and is
+   renamed into place. *)
 let write_json file =
-  let oc = open_out file in
+  let tmp = file ^ ".tmp" in
+  let oc = open_out tmp in
   let rows = List.rev !json_results in
   Printf.fprintf oc
     "{\n  \"suite\": \"softsched\",\n  \"schema_version\": %d,\n  \
@@ -79,6 +83,7 @@ let write_json file =
     rows;
   Printf.fprintf oc "\n  ]\n}\n";
   close_out oc;
+  Sys.rename tmp file;
   Printf.printf "\nwrote %d result rows to %s\n" (List.length rows) file
 
 (* ------------------------------------------------------------------ *)
@@ -884,6 +889,62 @@ let bechamel_timings () =
     (List.sort compare rows)
 
 (* ------------------------------------------------------------------ *)
+(* Scheduling service: batch throughput, cold vs warm cache            *)
+(* ------------------------------------------------------------------ *)
+
+(* All eight benchmark designs through the NDJSON batch path. Cold: a
+   fresh service per pass, so every request runs graph construction,
+   fingerprinting and the scheduler. Warm: one service whose cache (and
+   name-memo) is primed, so a request is a memo lookup plus response
+   rendering. The speedup row is the service's reason to exist. *)
+let service_throughput () =
+  section "Scheduling service (NDJSON batch, 8 designs per pass)";
+  let lines =
+    List.map
+      (fun (e : Hls_bench.Suite.entry) ->
+        Printf.sprintf {|{"design":%S}|} e.name)
+      Hls_bench.Suite.all
+  in
+  let n = List.length lines in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let run service jobs = ignore (Serve.Batch.run_lines service ~jobs lines) in
+  let cold_iters = 20 in
+  let cold jobs =
+    let s =
+      time (fun () ->
+          for _ = 1 to cold_iters do
+            run (Serve.Service.create ()) jobs
+          done)
+    in
+    float (cold_iters * n) /. s
+  in
+  let cold1 = cold 1 in
+  let cold4 = cold 4 in
+  let service = Serve.Service.create () in
+  run service 1 (* prime the cache *);
+  let warm_iters = 200 in
+  let warm_s =
+    time (fun () ->
+        for _ = 1 to warm_iters do
+          run service 1
+        done)
+  in
+  let warm = float (warm_iters * n) /. warm_s in
+  let speedup = warm /. cold1 in
+  Printf.printf "  %-26s %12.0f requests/s\n" "cold, --jobs 1" cold1;
+  Printf.printf "  %-26s %12.0f requests/s\n" "cold, --jobs 4" cold4;
+  Printf.printf "  %-26s %12.0f requests/s\n" "warm cache, --jobs 1" warm;
+  Printf.printf "  %-26s %12.1fx\n" "warm/cold speedup" speedup;
+  record ~sec:"serve" ~name:"cold throughput" ~unit:"requests/s" cold1;
+  record ~sec:"serve" ~name:"cold throughput jobs=4" ~unit:"requests/s" cold4;
+  record ~sec:"serve" ~name:"warm throughput" ~unit:"requests/s" warm;
+  record ~sec:"serve" ~name:"warm/cold speedup" ~unit:"x" speedup
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -907,6 +968,7 @@ let sections =
     ("cdfg", ablation_cdfg);
     ("vliw", ablation_vliw);
     ("refine", refinement_loop);
+    ("serve", service_throughput);
     ("bechamel", bechamel_timings);
   ]
 

@@ -53,29 +53,7 @@ let design_arg =
 
 let parse_resources s =
   (* e.g. "2alu,1mul" or "2alu,2mul,1mem" *)
-  let parse_one part =
-    let part = String.trim part in
-    let split =
-      let rec first_alpha i =
-        if i >= String.length part then i
-        else
-          match part.[i] with '0' .. '9' -> first_alpha (i + 1) | _ -> i
-      in
-      first_alpha 0
-    in
-    if split = 0 || split = String.length part then
-      failwith (Printf.sprintf "bad resource spec %S (want e.g. 2alu)" part);
-    let n = int_of_string (String.sub part 0 split) in
-    let cls =
-      match String.sub part split (String.length part - split) with
-      | "alu" -> Hard.Resources.Alu
-      | "mul" -> Hard.Resources.Multiplier
-      | "mem" -> Hard.Resources.Memory
-      | other -> failwith (Printf.sprintf "unknown unit class %S" other)
-    in
-    (cls, n)
-  in
-  Hard.Resources.make (List.map parse_one (String.split_on_char ',' s))
+  match Hard.Resources.of_string s with Ok r -> r | Error m -> failwith m
 
 (* A proper Cmdliner converter, so a bad spec reports through the usual
    "invalid value ... for --resources" channel with a usage hint instead
@@ -102,15 +80,13 @@ let resources_arg =
     & opt resources_conv (parse_resources "2alu,2mul,1mem")
     & info [ "r"; "resources" ] ~docv:"RES" ~doc)
 
-let meta_of_name ~resources = function
-  | "dfs" -> Soft.Meta.dfs
-  | "topo" -> Soft.Meta.topological
-  | "paths" -> Soft.Meta.by_paths
-  | "list" -> Soft.Meta.list_like ~resources
-  | other ->
+let meta_of_name ~resources name =
+  match Soft.Meta.of_name ~resources name with
+  | Some m -> m
+  | None ->
     failwith
-      (Printf.sprintf "unknown meta schedule %S: expected dfs, topo, paths or list"
-         other)
+      (Printf.sprintf "unknown meta schedule %S: expected %s" name
+         (String.concat ", " Soft.Meta.names))
 
 let meta_arg =
   let doc = "Meta schedule: dfs, topo, paths or list." in
@@ -666,14 +642,157 @@ let selfcheck_cmd =
        ~doc:"Run every validity checker on a design end to end")
     Term.(ret (const run_selfcheck $ design_arg $ resources_arg))
 
+(* --- batch / serve -------------------------------------------------- *)
+
+let jobs_arg =
+  let doc = "Worker threads for the scheduling pool." in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let cache_size_arg =
+  let doc = "Result-cache capacity (LRU entries)." in
+  Arg.(value & opt int 256 & info [ "cache-size" ] ~docv:"N" ~doc)
+
+let cache_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-file" ] ~docv:"FILE"
+        ~doc:
+          "Load the result cache from $(docv) at startup (if it exists) and \
+           save it back (atomically) on exit, so cache hits survive across \
+           invocations.")
+
+let load_cache_or_fail service = function
+  | None -> ()
+  | Some path -> (
+    match Serve.Service.load_cache service path with
+    | Ok n ->
+      if n > 0 then Printf.eprintf "loaded %d cached results from %s\n%!" n path
+    | Error m -> failwith m)
+
+let save_cache service = function
+  | None -> ()
+  | Some path -> Serve.Service.save_cache service path
+
+let run_batch jobs cache_size cache_file =
+  term_of_failure @@ fun () ->
+  if jobs <= 0 then failwith "--jobs must be positive";
+  if cache_size <= 0 then failwith "--cache-size must be positive";
+  let service = Serve.Service.create ~cache_capacity:cache_size () in
+  load_cache_or_fail service cache_file;
+  let stats = Serve.Batch.run_channels service ~jobs stdin stdout in
+  save_cache service cache_file;
+  prerr_endline (Serve.Batch.summary stats)
+
+let batch_cmd =
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Schedule a stream of NDJSON requests: one JSON request object per \
+          stdin line, one JSON response per stdout line, in input order. \
+          Identical requests are answered from the fingerprint cache; the \
+          output is byte-identical for any --jobs. A summary line goes to \
+          stderr.")
+    Term.(ret (const run_batch $ jobs_arg $ cache_size_arg $ cache_file_arg))
+
+let run_serve socket jobs max_connections cache_size cache_file =
+  term_of_failure @@ fun () ->
+  if jobs <= 0 then failwith "--jobs must be positive";
+  if cache_size <= 0 then failwith "--cache-size must be positive";
+  if max_connections <= 0 then failwith "--max-connections must be positive";
+  let service = Serve.Service.create ~cache_capacity:cache_size () in
+  load_cache_or_fail service cache_file;
+  let daemon =
+    Serve.Daemon.start service ~socket ~jobs ~max_connections ()
+  in
+  (* The handler only raises a flag; the main thread notices it between
+     naps and runs the actual drain — signal-handler-safe by
+     construction. *)
+  let stop_requested = ref false in
+  let request_stop _ = stop_requested := true in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+  Printf.eprintf "softsched serve: listening on %s (%d jobs, %d connections)\n%!"
+    socket jobs max_connections;
+  while not !stop_requested do
+    Thread.delay 0.1
+  done;
+  Printf.eprintf "softsched serve: draining...\n%!";
+  Serve.Daemon.stop daemon;
+  Serve.Daemon.wait daemon;
+  save_cache service cache_file;
+  let s = Serve.Service.cache_stats service in
+  Printf.eprintf
+    "softsched serve: drained; cache %d/%d entries, %d hits, %d misses, %d \
+     evictions\n\
+     %!"
+    s.Serve.Cache.length s.Serve.Cache.capacity s.Serve.Cache.hits
+    s.Serve.Cache.misses s.Serve.Cache.evictions
+
+let serve_cmd =
+  let socket =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Unix-domain socket to listen on (stale files are replaced).")
+  in
+  let max_connections =
+    Arg.(
+      value & opt int 32
+      & info [ "max-connections" ] ~docv:"N"
+          ~doc:
+            "Concurrent connection limit; excess connections receive one \
+             error line and are closed.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the scheduling daemon on a Unix-domain socket, speaking the \
+          same NDJSON protocol as batch (one request line, one response \
+          line). SIGTERM/SIGINT drain: in-flight requests complete and are \
+          answered before exit.")
+    Term.(
+      ret
+        (const run_serve $ socket $ jobs_arg $ max_connections
+        $ cache_size_arg $ cache_file_arg))
+
 (* --- main ---------------------------------------------------------- *)
 
+(* With SIGPIPE ignored, writing into a closed pipe surfaces as a
+   Sys_error we can turn into a clean exit — `softsched dot HAL | head`
+   should not die with a signal or a backtrace. *)
+let is_broken_pipe m =
+  let needle = "Broken pipe" in
+  let lm = String.length m and ln = String.length needle in
+  let rec at i = i + ln <= lm && (String.sub m i ln = needle || at (i + 1)) in
+  at 0
+
 let () =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
   let doc = "soft (threaded) scheduling for high level synthesis" in
   let info = Cmd.info "softsched" ~version:Version.version ~doc in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [ schedule_cmd; table_cmd; dot_cmd; verilog_cmd; sim_cmd;
-            map_cmd; retime_cmd; vliw_cmd; selfcheck_cmd; report_cmd;
-            diff_cmd ]))
+  let group =
+    Cmd.group info
+      [ schedule_cmd; table_cmd; dot_cmd; verilog_cmd; sim_cmd;
+        map_cmd; retime_cmd; vliw_cmd; selfcheck_cmd; report_cmd;
+        diff_cmd; batch_cmd; serve_cmd ]
+  in
+  let code =
+    try Cmd.eval ~catch:false group with
+    | Sys_error m when is_broken_pipe m -> 0
+    | e ->
+      let bt = Printexc.get_raw_backtrace () in
+      Format.eprintf "softsched: internal error, uncaught exception:@.%s@."
+        (Printexc.to_string e);
+      Printexc.print_raw_backtrace stderr bt;
+      125
+  in
+  (* exit itself flushes the standard formatters, which re-raises the
+     broken-pipe error; each at_exit handler runs at most once, so
+     retrying skips the offender and reaches the real exit. *)
+  let rec exit_clean code =
+    try exit code with Sys_error m when is_broken_pipe m -> exit_clean code
+  in
+  exit_clean code

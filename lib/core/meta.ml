@@ -83,3 +83,15 @@ let fig3 ~resources =
     ("meta sched3", by_paths);
     ("meta sched4", list_like ~resources);
   ]
+
+(* Name -> meta schedule, the spelling shared by the CLI flags and the
+   service protocol. [list] needs the resource configuration, hence the
+   label. *)
+let of_name ~resources = function
+  | "dfs" -> Some dfs
+  | "topo" -> Some topological
+  | "paths" -> Some by_paths
+  | "list" -> Some (list_like ~resources)
+  | _ -> None
+
+let names = [ "dfs"; "topo"; "paths"; "list" ]

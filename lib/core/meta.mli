@@ -33,3 +33,10 @@ val path_partition : Graph.t -> Graph.vertex list list
 (** The decomposition behind {!by_paths}: delay-weighted longest
     remaining path, peeled greedily until no vertex is left. Exposed for
     tests (the pieces are disjoint chains covering the graph). *)
+
+val of_name : resources:Resources.t -> string -> t option
+(** The CLI/protocol spelling: ["dfs"], ["topo"], ["paths"], ["list"]
+    (the last needs [resources]); [None] on anything else. *)
+
+val names : string list
+(** The strings {!of_name} accepts, for error messages. *)

@@ -58,6 +58,46 @@ let to_string t =
        (fun (cls, n) -> Printf.sprintf "%d %s" n (class_name cls))
        (classes t))
 
+(* "2alu,1mul" — the CLI/protocol spelling. Whitespace around parts is
+   tolerated so "2 alu, 1 mul" (what [to_string] prints) parses too. *)
+let of_string s =
+  let parse_one part =
+    let part =
+      String.concat ""
+        (String.split_on_char ' ' (String.trim part))
+    in
+    let split =
+      let rec first_alpha i =
+        if i >= String.length part then i
+        else
+          match part.[i] with '0' .. '9' -> first_alpha (i + 1) | _ -> i
+      in
+      first_alpha 0
+    in
+    if split = 0 || split = String.length part then
+      Error (Printf.sprintf "bad resource spec %S (want e.g. 2alu)" part)
+    else
+      match int_of_string_opt (String.sub part 0 split) with
+      | None -> Error (Printf.sprintf "bad count in %S" part)
+      | Some n -> (
+        match String.sub part split (String.length part - split) with
+        | "alu" -> Ok (Alu, n)
+        | "mul" -> Ok (Multiplier, n)
+        | "mem" -> Ok (Memory, n)
+        | other -> Error (Printf.sprintf "unknown unit class %S" other))
+  in
+  let rec build acc = function
+    | [] -> (
+      match make (List.rev acc) with
+      | t -> Ok t
+      | exception Invalid_argument m -> Error m)
+    | part :: rest -> (
+      match parse_one part with
+      | Ok pair -> build (pair :: acc) rest
+      | Error _ as e -> e)
+  in
+  build [] (String.split_on_char ',' s)
+
 let fig3_2alu_2mul = make [ (Alu, 2); (Multiplier, 2); (Memory, 1) ]
 let fig3_4alu_4mul = make [ (Alu, 4); (Multiplier, 4); (Memory, 1) ]
 let fig3_2alu_1mul = make [ (Alu, 2); (Multiplier, 1); (Memory, 1) ]

@@ -37,6 +37,11 @@ val class_name : fu_class -> string
 val to_string : t -> string
 (** Paper-style, e.g. ["2 alu, 1 mul"]. *)
 
+val of_string : string -> (t, string) result
+(** Parses the CLI/protocol spelling, e.g. ["2alu,2mul,1mem"] (spaces
+    tolerated, so {!to_string} output parses back). The error names the
+    offending part. *)
+
 val equal_class : fu_class -> fu_class -> bool
 
 (** The three configurations of Figure 3, with one memory port added so

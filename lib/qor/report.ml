@@ -95,11 +95,16 @@ let to_json r =
 
 let to_string r = Json.to_string (to_json r) ^ "\n"
 
+(* Atomic (tmp + rename): a report file either has the old content or
+   the complete new one, never a torn write — these files feed the CI
+   diff gate. *)
 let write ~path r =
-  let oc = open_out path in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc (to_string r))
+    (fun () -> output_string oc (to_string r));
+  Sys.rename tmp path
 
 (* --- parsing -------------------------------------------------------- *)
 

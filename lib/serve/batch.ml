@@ -1,0 +1,181 @@
+(* NDJSON batch driver: N request lines in, N response lines out, in
+   input order, scheduled on the worker pool.
+
+   Determinism contract: the output depends only on the input and the
+   cache state at entry, never on --jobs. Three mechanisms deliver it:
+
+   - prepare (parse, registry/parse/lower, fingerprint) runs
+     sequentially in input order;
+   - requests with equal cache keys are deduped — the first becomes the
+     leader and is the only one submitted to the pool, the rest ride on
+     its result marked cached (exactly what a sequential run's cache
+     would have produced);
+   - trace ids are assigned by input position (b-000001, …) and
+     responses are emitted in input position order.
+
+   Blank input lines are skipped without producing output. *)
+
+type stats = {
+  requests : int;
+  hits : int;  (* responses answered from cache (or a batch leader) *)
+  degraded : int;
+  errors : int;
+  wall_s : float;
+}
+
+type item =
+  | Bad of { id : string option; msg : string }
+  | Leader of { prepared : Service.prepared; future : int }
+      (* index into the futures array *)
+  | Follower of { prepared : Service.prepared; leader : int }
+      (* index into the items array *)
+
+let run_lines service ~jobs lines =
+  if jobs <= 0 then invalid_arg "Batch.run_lines: non-positive jobs";
+  let t0 = Unix.gettimeofday () in
+  let lines =
+    List.filter (fun l -> String.trim l <> "") lines
+  in
+  (* Pass 1, sequential: parse + prepare + dedupe by cache key. *)
+  let pending = ref [] in  (* leader thunk descriptors, reversed *)
+  let by_key = Hashtbl.create 16 in  (* cache key -> item index *)
+  let n_futures = ref 0 in
+  let items =
+    List.mapi
+      (fun i line ->
+        match Protocol.request_of_line line with
+        | Error msg -> Bad { id = None; msg }
+        | Ok req -> (
+          match Service.prepare service req with
+          | Error msg -> Bad { id = req.Protocol.id; msg }
+          | Ok prepared -> (
+            let key = Service.key_of prepared in
+            match Hashtbl.find_opt by_key key with
+            | Some leader -> Follower { prepared; leader }
+            | None ->
+              Hashtbl.add by_key key i;
+              let fi = !n_futures in
+              incr n_futures;
+              pending := prepared :: !pending;
+              Leader { prepared; future = fi })))
+      lines
+  in
+  let items = Array.of_list items in
+  (* Pass 2: leaders whose result is already cached are answered inline
+     (a hash lookup does not justify a worker-pool handoff — this is
+     most of the warm path's throughput); the rest fan out to the pool.
+     Deadlines are measured from submission, which is as close to
+     "enqueue" as the protocol gets. *)
+  let run_one prepared =
+    let deadline =
+      Option.map
+        (fun ms -> Unix.gettimeofday () +. (ms /. 1000.))
+        (Service.request_of prepared).Protocol.deadline_ms
+    in
+    Service.execute ?deadline service prepared
+  in
+  let futures =
+    let leaders = Array.of_list (List.rev !pending) in
+    let outcomes = Array.make (Array.length leaders) None in
+    let cold = ref [] in
+    Array.iteri
+      (fun i prepared ->
+        if Service.cached service prepared then
+          outcomes.(i) <- Some (try Ok (run_one prepared) with e -> Error e)
+        else cold := (i, prepared) :: !cold)
+      leaders;
+    (match !cold with
+    | [] -> ()
+    | cold ->
+      let pool = Pool.create ~jobs () in
+      let futs =
+        List.rev_map
+          (fun (i, prepared) ->
+            (i, Pool.submit pool (fun () -> run_one prepared)))
+          cold
+      in
+      List.iter (fun (i, fut) -> outcomes.(i) <- Some (Pool.await fut)) futs;
+      Pool.shutdown pool);
+    Array.map (function Some r -> r | None -> assert false) outcomes
+  in
+  (* Pass 3, sequential: render responses in input order. *)
+  let hits = ref 0 and degraded = ref 0 and errors = ref 0 in
+  let outcome_of_item = function
+    | Bad _ -> assert false
+    | Leader { future; _ } -> futures.(future)
+    | Follower _ -> assert false
+  in
+  let out =
+    List.mapi
+      (fun i item ->
+        let trace = Printf.sprintf "b-%06d" (i + 1) in
+        match item with
+        | Bad { id; msg } ->
+          incr errors;
+          Protocol.error_line ?id ~trace msg
+        | Leader { prepared; future } -> (
+          let req = Service.request_of prepared in
+          match futures.(future) with
+          | Error e ->
+            incr errors;
+            Protocol.error_line ?id:req.Protocol.id ~trace
+              (Printexc.to_string e)
+          | Ok (o, cached) ->
+            if cached then incr hits;
+            if (Service.result_of o).Protocol.degraded then incr degraded;
+            Service.line ?id:req.Protocol.id ~trace ~cached
+              ~want_schedule:req.Protocol.want_schedule o)
+        | Follower { prepared; leader } -> (
+          let req = Service.request_of prepared in
+          match outcome_of_item items.(leader) with
+          | Error e ->
+            incr errors;
+            Protocol.error_line ?id:req.Protocol.id ~trace
+              (Printexc.to_string e)
+          | Ok (o, _) ->
+            (* A sequential run's second identical request would hit the
+               cache — unless the result was degraded, which is never
+               cached. *)
+            let r = Service.result_of o in
+            let cached = not r.Protocol.degraded in
+            if cached then incr hits;
+            if r.Protocol.degraded then incr degraded;
+            Service.line ?id:req.Protocol.id ~trace ~cached
+              ~want_schedule:req.Protocol.want_schedule o))
+      (Array.to_list items)
+  in
+  let stats =
+    {
+      requests = Array.length items;
+      hits = !hits;
+      degraded = !degraded;
+      errors = !errors;
+      wall_s = Unix.gettimeofday () -. t0;
+    }
+  in
+  (out, stats)
+
+let summary s =
+  let pct =
+    if s.requests = 0 then 0. else 100. *. float s.hits /. float s.requests
+  in
+  let rate = if s.wall_s > 0. then float s.requests /. s.wall_s else 0. in
+  Printf.sprintf
+    "batch: %d requests, %d cache hits (%.0f%%), %d degraded, %d errors, %.1f \
+     requests/s"
+    s.requests s.hits pct s.degraded s.errors rate
+
+let run_channels service ~jobs ic oc =
+  let rec read acc =
+    match input_line ic with
+    | exception End_of_file -> List.rev acc
+    | l -> read (l :: acc)
+  in
+  let out, stats = run_lines service ~jobs (read []) in
+  List.iter
+    (fun l ->
+      output_string oc l;
+      output_char oc '\n')
+    out;
+  flush oc;
+  stats

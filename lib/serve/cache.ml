@@ -1,0 +1,130 @@
+(* Thread-safe LRU memo of fingerprint key -> schedule result.
+
+   Hashtbl for O(1) lookup plus an intrusive doubly-linked list for
+   O(1) recency maintenance; every public operation holds the one
+   mutex, so the cache is safe under the worker pool. Hit/miss/evict
+   traffic is counted locally (for the service's own summary) and
+   mirrored to the telemetry stream when a sink is installed, landing
+   in [Telemetry.Counters] next to the scheduler's counters. *)
+
+type 'a node = {
+  key : string;
+  value : 'a;
+  mutable prev : 'a node option;  (* towards most-recently-used *)
+  mutable next : 'a node option;  (* towards least-recently-used *)
+}
+
+type 'a t = {
+  lock : Mutex.t;
+  table : (string, 'a node) Hashtbl.t;
+  capacity : int;
+  mutable mru : 'a node option;
+  mutable lru : 'a node option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+type stats = {
+  length : int;
+  capacity : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Cache.create: non-positive capacity";
+  {
+    lock = Mutex.create ();
+    table = Hashtbl.create (min capacity 1024);
+    capacity;
+    mru = None;
+    lru = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let with_lock c f =
+  Mutex.lock c.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock c.lock) f
+
+let tell op key =
+  if Telemetry.enabled () then
+    Telemetry.emit (fun s -> s.Telemetry.Sink.cache_event ~op ~key)
+
+(* -- intrusive list maintenance (lock held) -------------------------- *)
+
+let unlink c n =
+  (match n.prev with Some p -> p.next <- n.next | None -> c.mru <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> c.lru <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front c n =
+  n.next <- c.mru;
+  n.prev <- None;
+  (match c.mru with Some m -> m.prev <- Some n | None -> c.lru <- Some n);
+  c.mru <- Some n
+
+let evict_excess c =
+  while Hashtbl.length c.table > c.capacity do
+    match c.lru with
+    | None -> assert false
+    | Some n ->
+      unlink c n;
+      Hashtbl.remove c.table n.key;
+      c.evictions <- c.evictions + 1;
+      tell `Evict n.key
+  done
+
+(* -- public operations ----------------------------------------------- *)
+
+let find c key =
+  with_lock c (fun () ->
+      match Hashtbl.find_opt c.table key with
+      | Some n ->
+        unlink c n;
+        push_front c n;
+        c.hits <- c.hits + 1;
+        tell `Hit key;
+        Some n.value
+      | None ->
+        c.misses <- c.misses + 1;
+        tell `Miss key;
+        None)
+
+let add c key value =
+  with_lock c (fun () ->
+      (match Hashtbl.find_opt c.table key with
+      | Some old -> unlink c old; Hashtbl.remove c.table old.key
+      | None -> ());
+      let n = { key; value; prev = None; next = None } in
+      Hashtbl.replace c.table key n;
+      push_front c n;
+      evict_excess c)
+
+let mem c key = with_lock c (fun () -> Hashtbl.mem c.table key)
+let length c = with_lock c (fun () -> Hashtbl.length c.table)
+
+let stats c =
+  with_lock c (fun () ->
+      {
+        length = Hashtbl.length c.table;
+        capacity = c.capacity;
+        hits = c.hits;
+        misses = c.misses;
+        evictions = c.evictions;
+      })
+
+(* Most-recent-first key walk, for the persistence layer and the tests
+   (the order *is* the recency order, so saving and reloading preserves
+   which entries an over-capacity load would evict). *)
+let fold_mru c f acc =
+  with_lock c (fun () ->
+      let rec walk acc = function
+        | None -> acc
+        | Some n -> walk (f acc n.key n.value) n.next
+      in
+      walk acc c.mru)

@@ -1,0 +1,37 @@
+(** Thread-safe LRU memo of fingerprint key → schedule result.
+
+    O(1) lookup, insert and recency maintenance (hash table plus an
+    intrusive recency list) behind one mutex. Hit/miss/eviction
+    traffic is tallied locally ({!stats}) and mirrored to the telemetry
+    stream ({!Telemetry.Counters} [cache_*] fields) whenever a sink is
+    installed. *)
+
+type 'a t
+
+type stats = {
+  length : int;
+  capacity : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+}
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument on a non-positive capacity. *)
+
+val find : 'a t -> string -> 'a option
+(** A hit refreshes the entry's recency; both outcomes are counted. *)
+
+val add : 'a t -> string -> 'a -> unit
+(** Inserts (or replaces) as most recently used, evicting from the cold
+    end while over capacity. *)
+
+val mem : 'a t -> string -> bool
+(** Membership without touching recency or the counters. *)
+
+val length : 'a t -> int
+val stats : 'a t -> stats
+
+val fold_mru : 'a t -> ('acc -> string -> 'a -> 'acc) -> 'acc -> 'acc
+(** Fold over entries from most to least recently used (the persistence
+    order). *)

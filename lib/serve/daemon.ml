@@ -1,0 +1,186 @@
+(* Unix-domain-socket daemon: accept loop + one thread per connection,
+   scheduling work routed through the shared pool.
+
+   Shutdown is a drain, not an abort: [stop] closes the listening
+   socket, shuts down the read side of every live connection (so
+   readers see EOF instead of blocking forever) and lets each
+   connection thread finish writing the response it is working on.
+   Requests already submitted to the pool always complete — that is
+   the pool's own guarantee. [wait] joins everything. *)
+
+type t = {
+  service : Service.t;
+  pool : Pool.t;
+  lsock : Unix.file_descr;
+  socket_path : string;
+  max_connections : int;
+  lock : Mutex.t;
+  mutable stopping : bool;
+  mutable conns : (int * Unix.file_descr) list;  (* live connection fds *)
+  mutable conn_threads : Thread.t list;
+  mutable next_conn : int;
+  mutable accepter : Thread.t option;
+}
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let stopping t = with_lock t.lock (fun () -> t.stopping)
+
+(* One request line -> one response line. *)
+let answer t line =
+  let trace = Service.next_trace t.service ~prefix:"s" in
+  match Protocol.request_of_line line with
+  | Error msg -> Protocol.error_line ~trace msg
+  | Ok req -> (
+    match Service.prepare t.service req with
+    | Error msg -> Protocol.error_line ?id:req.Protocol.id ~trace msg
+    | Ok prepared -> (
+      let deadline =
+        Option.map
+          (fun ms -> Unix.gettimeofday () +. (ms /. 1000.))
+          req.Protocol.deadline_ms
+      in
+      match
+        Pool.try_submit t.pool (fun () ->
+            Service.execute ?deadline t.service prepared)
+      with
+      | None -> Protocol.error_line ?id:req.Protocol.id ~trace "shutting down"
+      | Some fut -> (
+        match Pool.await fut with
+        | Error e ->
+          Protocol.error_line ?id:req.Protocol.id ~trace (Printexc.to_string e)
+        | Ok (o, cached) ->
+          Service.line ?id:req.Protocol.id ~trace ~cached
+            ~want_schedule:req.Protocol.want_schedule o)))
+
+let serve_connection t (cid, fd) =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let rec loop () =
+    if not (stopping t) then
+      match input_line ic with
+      | exception End_of_file -> ()
+      | exception Sys_error _ -> ()
+      | "" -> loop ()
+      | line -> (
+        let reply = answer t line in
+        match
+          output_string oc reply;
+          output_char oc '\n';
+          flush oc
+        with
+        | () -> loop ()
+        | exception Sys_error _ -> ())
+  in
+  (try loop () with _ -> ());
+  with_lock t.lock (fun () ->
+      t.conns <- List.filter (fun (i, _) -> i <> cid) t.conns);
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let accept_loop t =
+  let rec loop () =
+    let ready =
+      (* Poll so a [stop] (which closes lsock) is noticed promptly even
+         if no connection ever arrives. *)
+      try
+        let r, _, _ = Unix.select [ t.lsock ] [] [] 0.2 in
+        r <> []
+      with Unix.Unix_error _ -> false
+    in
+    if stopping t then ()
+    else if not ready then loop ()
+    else
+      match Unix.accept t.lsock with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | exception Unix.Unix_error _ -> if stopping t then () else loop ()
+      | fd, _ ->
+        let admitted =
+          with_lock t.lock (fun () ->
+              if t.stopping || List.length t.conns >= t.max_connections then
+                None
+              else begin
+                let cid = t.next_conn in
+                t.next_conn <- cid + 1;
+                t.conns <- (cid, fd) :: t.conns;
+                Some cid
+              end)
+        in
+        (match admitted with
+        | None ->
+          let oc = Unix.out_channel_of_descr fd in
+          let trace = Service.next_trace t.service ~prefix:"s" in
+          (try
+             output_string oc
+               (Protocol.error_line ~trace
+                  (if stopping t then "shutting down" else "server busy"));
+             output_char oc '\n';
+             flush oc
+           with Sys_error _ -> ());
+          (try Unix.close fd with Unix.Unix_error _ -> ())
+        | Some cid ->
+          let th = Thread.create (serve_connection t) (cid, fd) in
+          with_lock t.lock (fun () ->
+              t.conn_threads <- th :: t.conn_threads));
+        loop ()
+  in
+  loop ()
+
+let start service ~socket ~jobs ?(max_connections = 32) () =
+  if max_connections <= 0 then
+    invalid_arg "Daemon.start: non-positive max_connections";
+  (if Sys.file_exists socket then
+     try Unix.unlink socket with Unix.Unix_error _ -> ());
+  let lsock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let t =
+    {
+      service;
+      pool = Pool.create ~jobs ();
+      lsock;
+      socket_path = socket;
+      max_connections;
+      lock = Mutex.create ();
+      stopping = false;
+      conns = [];
+      conn_threads = [];
+      next_conn = 1;
+      accepter = None;
+    }
+  in
+  (try
+     Unix.bind lsock (Unix.ADDR_UNIX socket);
+     Unix.listen lsock 64
+   with e ->
+     (try Unix.close lsock with Unix.Unix_error _ -> ());
+     raise e);
+  t.accepter <- Some (Thread.create accept_loop t);
+  t
+
+(* Begin the drain: no new connections, readers unblocked. In-flight
+   requests keep running; [wait] collects them. Idempotent. *)
+let stop t =
+  let conns =
+    with_lock t.lock (fun () ->
+        if t.stopping then []
+        else begin
+          t.stopping <- true;
+          t.conns
+        end)
+  in
+  (try Unix.close t.lsock with Unix.Unix_error _ -> ());
+  List.iter
+    (fun (_, fd) ->
+      try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE
+      with Unix.Unix_error _ | Invalid_argument _ -> ())
+    conns
+
+let wait t =
+  (match t.accepter with Some th -> Thread.join th | None -> ());
+  let threads = with_lock t.lock (fun () -> t.conn_threads) in
+  List.iter Thread.join threads;
+  Pool.shutdown t.pool;
+  if Sys.file_exists t.socket_path then
+    try Unix.unlink t.socket_path with Unix.Unix_error _ | Sys_error _ -> ()
+
+let socket_path t = t.socket_path

@@ -1,0 +1,31 @@
+(** Unix-domain-socket scheduling daemon.
+
+    One accept thread, one thread per connection (bounded by
+    [max_connections]; excess connections get one ["server busy"] error
+    line and are closed), scheduling work routed through a shared
+    {!Pool}. The protocol is the NDJSON of {!Protocol}, one request
+    line → one response line, with per-request trace ids ([s-000001],
+    …).
+
+    Shutdown ({!stop}) is a {e drain}: the listening socket closes,
+    blocked readers are unblocked, and every request already in flight
+    completes and gets its response before {!wait} returns. The CLI
+    wires SIGTERM/SIGINT to {!stop}. *)
+
+type t
+
+val start :
+  Service.t -> socket:string -> jobs:int -> ?max_connections:int -> unit -> t
+(** Binds (replacing any stale socket file), listens, and spawns the
+    accept thread. [max_connections] defaults to 32.
+    @raise Unix.Unix_error if the socket cannot be bound. *)
+
+val stop : t -> unit
+(** Begin the drain. Idempotent, safe from a signal handler's thread. *)
+
+val wait : t -> unit
+(** Join the accept thread, every connection thread and the pool, then
+    remove the socket file. Returns only once all in-flight requests
+    have been answered. *)
+
+val socket_path : t -> string

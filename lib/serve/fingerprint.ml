@@ -1,0 +1,129 @@
+open Import
+
+(* Structural fingerprinting of precedence graphs.
+
+   The service keys its result cache on *structure*, not on vertex
+   names or insertion order: two clients submitting the same dataflow
+   under different labels must share one cache line. Each vertex gets a
+   signature by two Weisfeiler–Lehman-style sweeps — a forward hash
+   folding (op, delay) with the operand-ordered predecessor signatures
+   (operand order is semantic: preds double as the operand list), and a
+   backward hash folding the successor signatures commutatively
+   (successor order is storage noise). The graph hash combines the
+   vertex-signature multiset with an edge term, both order-independent,
+   so any isomorphic presentation of the same dataflow hashes equal,
+   and any single structural edit moves the hash with overwhelming
+   probability (64-bit splitmix mixing). *)
+
+(* splitmix64 finalizer: a cheap full-avalanche 64-bit mixer. *)
+let mix (x : int64) : int64 =
+  let open Int64 in
+  let x = add x 0x9e3779b97f4a7c15L in
+  let x = mul (logxor x (shift_right_logical x 30)) 0xbf58476d1ce4e5b9L in
+  let x = mul (logxor x (shift_right_logical x 27)) 0x94d049bb133111ebL in
+  logxor x (shift_right_logical x 31)
+
+let combine h x = mix (Int64.add (Int64.mul h 0x100000001b3L) x)
+
+let hash_string s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c -> h := combine !h (Int64.of_int (Char.code c)))
+    s;
+  !h
+
+let vertex_seed g v =
+  combine
+    (hash_string (Op.to_string (Graph.op g v)))
+    (Int64.of_int (Graph.delay g v))
+
+let signatures g =
+  let n = Graph.n_vertices g in
+  let fwd = Array.make n 0L in
+  let order = Topo.sort g in
+  (* forward: operand-ordered fold over predecessor signatures *)
+  List.iter
+    (fun v ->
+      let h = ref (vertex_seed g v) in
+      Graph.iter_preds (fun p -> h := combine !h fwd.(p)) g v;
+      fwd.(v) <- mix !h)
+    order;
+  (* backward: commutative fold over successor signatures *)
+  let bwd = Array.make n 0L in
+  List.iter
+    (fun v ->
+      let h = ref 0L in
+      Graph.iter_succs (fun s -> h := Int64.add !h (mix bwd.(s))) g v;
+      bwd.(v) <- mix (combine (vertex_seed g v) !h))
+    (List.rev order);
+  Array.init n (fun v -> mix (combine fwd.(v) bwd.(v)))
+
+let hash g =
+  let sigs = signatures g in
+  (* Commutative vertex and edge terms: insertion order washes out. *)
+  let h = ref (Int64.of_int (Graph.n_vertices g)) in
+  Array.iter (fun s -> h := Int64.add !h (mix s)) sigs;
+  (* Edges fold the operand slot in, so swapping the operands of a
+     non-commutative op moves the hash even between sibling vertices
+     with equal signatures. *)
+  Graph.iter_vertices
+    (fun v ->
+      let slot = ref 0 in
+      Graph.iter_preds
+        (fun p ->
+          h :=
+            Int64.add !h
+              (mix (combine (combine sigs.(p) sigs.(v)) (Int64.of_int !slot)));
+          incr slot)
+        g v)
+    g;
+  mix !h
+
+let to_hex h = Printf.sprintf "%016Lx" h
+
+let key ?(meta = "topo") ~resources g =
+  Printf.sprintf "%s|%s|%s" (to_hex (hash g)) (Resources.to_string resources)
+    meta
+
+(* Canonical serialization: vertices renamed n0, n1, ... in an
+   order derived from the signatures (ties broken by original id, which
+   cannot change the isomorphism class — tied vertices are
+   indistinguishable up to the signature's resolution). The output is a
+   valid [Serial] document whose parse is isomorphic to the input. *)
+let canonical g =
+  let sigs = signatures g in
+  let order =
+    List.sort
+      (fun a b ->
+        match Int64.unsigned_compare sigs.(a) sigs.(b) with
+        | 0 -> compare a b
+        | c -> c)
+      (Graph.vertices g)
+  in
+  let rank = Hashtbl.create (Graph.n_vertices g) in
+  List.iteri (fun i v -> Hashtbl.replace rank v i) order;
+  let name v = Printf.sprintf "n%d" (Hashtbl.find rank v) in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "# canonical softsched dataflow graph\n";
+  List.iter
+    (fun v ->
+      Buffer.add_string buf
+        (Printf.sprintf "vertex %s %s %d\n" (name v)
+           (Op.to_string (Graph.op g v))
+           (Graph.delay g v)))
+    order;
+  (* Pred edges in operand order (deduplicated: the graph's edge set is
+     simple; a pred feeding two operand slots appears once). *)
+  List.iter
+    (fun v ->
+      let seen = Hashtbl.create 4 in
+      Graph.iter_preds
+        (fun p ->
+          if not (Hashtbl.mem seen p) then begin
+            Hashtbl.replace seen p ();
+            Buffer.add_string buf
+              (Printf.sprintf "edge %s %s\n" (name p) (name v))
+          end)
+        g v)
+    order;
+  Buffer.contents buf

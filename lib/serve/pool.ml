@@ -1,0 +1,161 @@
+(* Bounded work queue + Thread-based worker pool (OCaml 4.14-safe: no
+   Domain, just Thread/Mutex/Condition, so it runs identically on 4.14
+   and 5.x — concurrency for the I/O-bound daemon, plus parallelism
+   wherever the runtime provides it).
+
+   Submission blocks while the queue is at capacity (backpressure
+   towards the batch reader / connection threads rather than unbounded
+   buffering). A future can be cancelled while still queued; a job that
+   already started always runs to completion — in-flight work is never
+   abandoned, which is what makes the daemon's SIGTERM drain exact. *)
+
+type 'a state =
+  | Queued of (unit -> 'a)
+  | Running
+  | Done of ('a, exn) result
+  | Cancelled
+
+type 'a future = {
+  flock : Mutex.t;
+  fcond : Condition.t;
+  mutable state : 'a state;
+}
+
+type job = Job : 'a future -> job
+
+type t = {
+  lock : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+  queue : job Queue.t;
+  queue_cap : int;
+  mutable workers : Thread.t list;
+  mutable draining : bool;
+}
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+(* Run one job: claim it (Queued -> Running), execute outside the
+   future's lock, publish the result. Cancelled jobs are skipped. *)
+let run_job (Job fut) =
+  let work =
+    with_lock fut.flock (fun () ->
+        match fut.state with
+        | Queued f ->
+          fut.state <- Running;
+          Some f
+        | Cancelled -> None
+        | Running | Done _ -> assert false)
+  in
+  match work with
+  | None -> ()
+  | Some f ->
+    let result = try Ok (f ()) with e -> Error e in
+    with_lock fut.flock (fun () ->
+        fut.state <- Done result;
+        Condition.broadcast fut.fcond)
+
+let worker pool =
+  let rec loop () =
+    let job =
+      with_lock pool.lock (fun () ->
+          let rec wait () =
+            if not (Queue.is_empty pool.queue) then begin
+              let j = Queue.pop pool.queue in
+              Condition.signal pool.not_full;
+              Some j
+            end
+            else if pool.draining then None
+            else begin
+              Condition.wait pool.not_empty pool.lock;
+              wait ()
+            end
+          in
+          wait ())
+    in
+    match job with
+    | Some j ->
+      run_job j;
+      loop ()
+    | None -> ()
+  in
+  loop ()
+
+let create ?queue_cap ~jobs () =
+  if jobs <= 0 then invalid_arg "Pool.create: non-positive jobs";
+  let queue_cap =
+    match queue_cap with
+    | Some c when c <= 0 -> invalid_arg "Pool.create: non-positive queue_cap"
+    | Some c -> c
+    | None -> 4 * jobs
+  in
+  let pool =
+    {
+      lock = Mutex.create ();
+      not_empty = Condition.create ();
+      not_full = Condition.create ();
+      queue = Queue.create ();
+      queue_cap;
+      workers = [];
+      draining = false;
+    }
+  in
+  pool.workers <- List.init jobs (fun _ -> Thread.create worker pool);
+  pool
+
+let try_submit pool f =
+  let fut =
+    { flock = Mutex.create (); fcond = Condition.create (); state = Queued f }
+  in
+  with_lock pool.lock (fun () ->
+      let rec wait () =
+        if pool.draining then None
+        else if Queue.length pool.queue >= pool.queue_cap then begin
+          Condition.wait pool.not_full pool.lock;
+          wait ()
+        end
+        else begin
+          Queue.push (Job fut) pool.queue;
+          Condition.signal pool.not_empty;
+          Some fut
+        end
+      in
+      wait ())
+
+let submit pool f =
+  match try_submit pool f with
+  | Some fut -> fut
+  | None -> invalid_arg "Pool.submit: pool is draining"
+
+let await fut =
+  with_lock fut.flock (fun () ->
+      let rec wait () =
+        match fut.state with
+        | Done r -> r
+        | Cancelled -> Error (Invalid_argument "Pool.await: job cancelled")
+        | Queued _ | Running ->
+          Condition.wait fut.fcond fut.flock;
+          wait ()
+      in
+      wait ())
+
+let cancel fut =
+  with_lock fut.flock (fun () ->
+      match fut.state with
+      | Queued _ ->
+        fut.state <- Cancelled;
+        Condition.broadcast fut.fcond;
+        true
+      | Running | Done _ | Cancelled -> false)
+
+(* Stop accepting work, let the workers finish everything already
+   queued, and join them. Idempotent (joining a joined thread returns
+   immediately). *)
+let shutdown pool =
+  with_lock pool.lock (fun () ->
+      pool.draining <- true;
+      Condition.broadcast pool.not_empty;
+      Condition.broadcast pool.not_full);
+  List.iter Thread.join pool.workers

@@ -1,0 +1,36 @@
+(** Bounded work queue + [Thread]-based worker pool (OCaml 4.14-safe).
+
+    [submit] enqueues a thunk and returns a future; it {e blocks} while
+    the queue is at capacity, pushing backpressure to the producer
+    instead of buffering without bound. Queued work can be cancelled;
+    running work always completes — that guarantee is what makes the
+    daemon's SIGTERM drain exact. *)
+
+type t
+type 'a future
+
+val create : ?queue_cap:int -> jobs:int -> unit -> t
+(** [jobs] worker threads; [queue_cap] defaults to [4 * jobs].
+    @raise Invalid_argument on non-positive sizes. *)
+
+val submit : t -> (unit -> 'a) -> 'a future
+(** Blocks while the queue is full. @raise Invalid_argument if the pool
+    is draining. *)
+
+val try_submit : t -> (unit -> 'a) -> 'a future option
+(** Like {!submit} but returns [None] instead of raising when the pool
+    is draining (the daemon's "shutting down" reply path). *)
+
+val await : 'a future -> ('a, exn) result
+(** Blocks until the job ran (or was cancelled — that surfaces as
+    [Error Invalid_argument]). Exceptions raised by the job are
+    captured, not re-raised. *)
+
+val cancel : 'a future -> bool
+(** [true] iff the job was still queued and is now cancelled; a job
+    that started (or finished, or was already cancelled) is left
+    alone. *)
+
+val shutdown : t -> unit
+(** Drain: stop accepting submissions, run everything already queued,
+    join the workers. Blocks until done. *)

@@ -1,0 +1,288 @@
+open Import
+
+(* The NDJSON request/response vocabulary of `softsched batch` and
+   `softsched serve`: one JSON object per line, field order fixed so
+   equal requests produce byte-identical response lines (the batch
+   determinism contract). Built on Qor.Json — no external JSON dep. *)
+
+type spec =
+  | Named of string  (* benchmark registry name, e.g. "HAL" *)
+  | Inline_dfg of string  (* a .dfg document, inline *)
+  | Inline_beh of string  (* behavioral source, inline *)
+
+type request = {
+  id : string option;  (* client correlation id, echoed verbatim *)
+  spec : spec;
+  resources : Resources.t;
+  meta : string;  (* "dfs" | "topo" | "paths" | "list" *)
+  deadline_ms : float option;  (* soft deadline, measured from enqueue *)
+  want_schedule : bool;  (* include the op->(thread,step) map? *)
+}
+
+type slot = {
+  vertex : string;  (* vertex name in the submitted graph *)
+  op : string;
+  unit_ : int option;  (* functional-unit thread, None = free *)
+  step : int;  (* start control step (ASAP extraction) *)
+}
+
+type result = {
+  fingerprint : string;
+  design : string;  (* registry name, or "inline" *)
+  resources_str : string;
+  meta : string;
+  vertices : int;
+  edges : int;
+  diameter : int;
+  degraded : bool;  (* deadline overran: tail placed by the fast fallback *)
+  assignment : slot list;
+}
+
+(* -- requests --------------------------------------------------------- *)
+
+let spec_label = function
+  | Named n -> n
+  | Inline_dfg _ | Inline_beh _ -> "inline"
+
+let default_resources () =
+  Resources.make
+    [ (Resources.Alu, 2); (Resources.Multiplier, 2); (Resources.Memory, 1) ]
+
+let ( let* ) = Result.bind
+
+let opt_str j key =
+  match Json.member key j with
+  | Some (Json.Str s) -> Ok (Some s)
+  | Some _ -> Error (Printf.sprintf "field %S must be a string" key)
+  | None -> Ok None
+
+let request_of_json j =
+  match j with
+  | Json.Obj _ ->
+    let* id = opt_str j "id" in
+    let* design = opt_str j "design" in
+    let* dfg = opt_str j "dfg" in
+    let* source = opt_str j "source" in
+    let* spec =
+      match (design, dfg, source) with
+      | Some n, None, None -> Ok (Named n)
+      | None, Some d, None -> Ok (Inline_dfg d)
+      | None, None, Some s -> Ok (Inline_beh s)
+      | None, None, None ->
+        Error "request needs exactly one of \"design\", \"dfg\", \"source\""
+      | _ -> Error "fields \"design\", \"dfg\", \"source\" are exclusive"
+    in
+    let* resources =
+      match Json.member "resources" j with
+      | Some (Json.Str s) -> Resources.of_string s
+      | Some _ -> Error "field \"resources\" must be a string"
+      | None -> Ok (default_resources ())
+    in
+    let* meta =
+      match Json.member "meta" j with
+      | Some (Json.Str s) ->
+        if List.mem s Meta.names then Ok s
+        else
+          Error
+            (Printf.sprintf "unknown meta %S (expected %s)" s
+               (String.concat ", " Meta.names))
+      | Some _ -> Error "field \"meta\" must be a string"
+      | None -> Ok "topo"
+    in
+    let* deadline_ms =
+      match Json.member "deadline_ms" j with
+      | Some n -> (
+        match Json.to_num n with
+        | Some f when f >= 0.0 -> Ok (Some f)
+        | _ -> Error "field \"deadline_ms\" must be a non-negative number")
+      | None -> Ok None
+    in
+    let* want_schedule =
+      match Json.member "schedule" j with
+      | Some (Json.Bool b) -> Ok b
+      | Some _ -> Error "field \"schedule\" must be a boolean"
+      | None -> Ok true
+    in
+    Ok { id; spec; resources; meta; deadline_ms; want_schedule }
+  | _ -> Error "request must be a JSON object"
+
+let request_of_line line =
+  match Json.parse_result line with
+  | Error m -> Error (Printf.sprintf "bad JSON: %s" m)
+  | Ok j -> request_of_json j
+
+let request_to_json r =
+  let base =
+    match r.spec with
+    | Named n -> [ ("design", Json.str n) ]
+    | Inline_dfg d -> [ ("dfg", Json.str d) ]
+    | Inline_beh s -> [ ("source", Json.str s) ]
+  in
+  Json.Obj
+    (List.concat
+       [
+         (match r.id with Some i -> [ ("id", Json.str i) ] | None -> []);
+         base;
+         [
+           ("resources", Json.str (Resources.to_string r.resources));
+           ("meta", Json.str r.meta);
+         ];
+         (match r.deadline_ms with
+         | Some d -> [ ("deadline_ms", Json.num d) ]
+         | None -> []);
+         (if r.want_schedule then [] else [ ("schedule", Json.Bool false) ]);
+       ])
+
+(* -- results ---------------------------------------------------------- *)
+
+let slot_to_json s =
+  Json.Obj
+    (List.concat
+       [
+         [ ("v", Json.str s.vertex); ("op", Json.str s.op) ];
+         (match s.unit_ with
+         | Some k -> [ ("unit", Json.int k) ]
+         | None -> []);
+         [ ("step", Json.int s.step) ];
+       ])
+
+let result_to_json r =
+  Json.Obj
+    [
+      ("fingerprint", Json.str r.fingerprint);
+      ("design", Json.str r.design);
+      ("resources", Json.str r.resources_str);
+      ("meta", Json.str r.meta);
+      ("vertices", Json.int r.vertices);
+      ("edges", Json.int r.edges);
+      ("diameter", Json.int r.diameter);
+      ("degraded", Json.Bool r.degraded);
+      ("schedule", Json.Arr (List.map slot_to_json r.assignment));
+    ]
+
+let slot_of_json j =
+  let* vertex =
+    match Json.member "v" j with
+    | Some (Json.Str s) -> Ok s
+    | _ -> Error "slot needs a string \"v\""
+  in
+  let* op =
+    match Json.member "op" j with
+    | Some (Json.Str s) -> Ok s
+    | _ -> Error "slot needs a string \"op\""
+  in
+  let* unit_ =
+    match Json.member "unit" j with
+    | Some n -> (
+      match Json.to_num n with
+      | Some f -> Ok (Some (int_of_float f))
+      | None -> Error "slot \"unit\" must be a number")
+    | None -> Ok None
+  in
+  let* step =
+    match Option.bind (Json.member "step" j) Json.to_num with
+    | Some f -> Ok (int_of_float f)
+    | None -> Error "slot needs a numeric \"step\""
+  in
+  Ok { vertex; op; unit_; step }
+
+let field_str j key =
+  match Json.member key j with
+  | Some (Json.Str s) -> Ok s
+  | _ -> Error (Printf.sprintf "result needs a string %S" key)
+
+let field_int j key =
+  match Option.bind (Json.member key j) Json.to_num with
+  | Some f -> Ok (int_of_float f)
+  | None -> Error (Printf.sprintf "result needs a numeric %S" key)
+
+let result_of_json j =
+  let* fingerprint = field_str j "fingerprint" in
+  let* design = field_str j "design" in
+  let* resources_str = field_str j "resources" in
+  let* meta = field_str j "meta" in
+  let* vertices = field_int j "vertices" in
+  let* edges = field_int j "edges" in
+  let* diameter = field_int j "diameter" in
+  let* degraded =
+    match Json.member "degraded" j with
+    | Some (Json.Bool b) -> Ok b
+    | _ -> Error "result needs a boolean \"degraded\""
+  in
+  let* assignment =
+    match Json.member "schedule" j with
+    | Some (Json.Arr slots) ->
+      List.fold_left
+        (fun acc s ->
+          let* acc = acc in
+          let* slot = slot_of_json s in
+          Ok (slot :: acc))
+        (Ok []) slots
+      |> Result.map List.rev
+    | _ -> Error "result needs an array \"schedule\""
+  in
+  Ok
+    {
+      fingerprint;
+      design;
+      resources_str;
+      meta;
+      vertices;
+      edges;
+      diameter;
+      degraded;
+      assignment;
+    }
+
+(* -- responses -------------------------------------------------------- *)
+
+(* Response lines carry a fixed field order; [cached] means the result
+   came out of the fingerprint cache (or rode on a concurrent identical
+   request) rather than a fresh scheduler run.
+
+   The line splits into a per-request prefix (id, trace, status, cached)
+   and a per-result core (everything else). The core only depends on the
+   result, so the service memoizes its rendering per cache entry — on
+   the warm path, answering is a string splice. *)
+
+let core_fields ~want_schedule (r : result) =
+  let fields =
+    [
+      ("degraded", Json.Bool r.degraded);
+      ("fingerprint", Json.str r.fingerprint);
+      ("design", Json.str r.design);
+      ("resources", Json.str r.resources_str);
+      ("meta", Json.str r.meta);
+      ("vertices", Json.int r.vertices);
+      ("edges", Json.int r.edges);
+      ("diameter", Json.int r.diameter);
+    ]
+    @
+    if want_schedule then
+      [ ("schedule", Json.Arr (List.map slot_to_json r.assignment)) ]
+    else []
+  in
+  let s = Json.to_string ~minify:true (Json.Obj fields) in
+  (* drop the opening brace: the prefix supplies it *)
+  String.sub s 1 (String.length s - 1)
+
+let ok_line_with_core ?id ~trace ~cached core =
+  Printf.sprintf "{\"id\":%s,\"trace\":%s,\"status\":\"ok\",\"cached\":%b,%s"
+    (match id with
+    | Some i -> Json.to_string ~minify:true (Json.str i)
+    | None -> "null")
+    (Json.to_string ~minify:true (Json.str trace))
+    cached core
+
+let ok_line ?id ~trace ~cached ~want_schedule (r : result) =
+  ok_line_with_core ?id ~trace ~cached (core_fields ~want_schedule r)
+
+let error_line ?id ~trace msg =
+  Json.to_string ~minify:true
+    (Json.Obj
+       [
+         ("id", match id with Some i -> Json.str i | None -> Json.Null);
+         ("trace", Json.str trace);
+         ("status", Json.str "error");
+         ("error", Json.str msg);
+       ])

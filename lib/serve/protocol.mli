@@ -1,0 +1,75 @@
+(** NDJSON request/response vocabulary shared by [softsched batch] and
+    [softsched serve]: one JSON object per line, over {!Qor.Json}.
+
+    Requests name a design (benchmark registry name, inline [.dfg]
+    text, or inline behavioral source), resources, a meta schedule, an
+    optional soft deadline, and whether the full operation schedule
+    should be included in the reply. Response lines keep a fixed field
+    order so identical requests yield byte-identical lines — the batch
+    determinism contract. *)
+
+open Import
+
+type spec =
+  | Named of string  (** benchmark registry name, e.g. ["HAL"] *)
+  | Inline_dfg of string  (** a [.dfg] document, inline *)
+  | Inline_beh of string  (** behavioral source, inline *)
+
+type request = {
+  id : string option;  (** client correlation id, echoed verbatim *)
+  spec : spec;
+  resources : Resources.t;
+  meta : string;
+  deadline_ms : float option;
+  want_schedule : bool;
+}
+
+type slot = {
+  vertex : string;
+  op : string;
+  unit_ : int option;  (** functional-unit thread; [None] = free *)
+  step : int;
+}
+
+(** A schedule result — what the fingerprint cache stores. *)
+type result = {
+  fingerprint : string;
+  design : string;
+  resources_str : string;
+  meta : string;
+  vertices : int;
+  edges : int;
+  diameter : int;
+  degraded : bool;
+  assignment : slot list;
+}
+
+val spec_label : spec -> string
+val default_resources : unit -> Resources.t
+
+val request_of_line : string -> (request, string) Result.t
+val request_of_json : Json.t -> (request, string) Result.t
+val request_to_json : request -> Json.t
+
+val result_to_json : result -> Json.t
+val result_of_json : Json.t -> (result, string) Result.t
+
+val ok_line :
+  ?id:string ->
+  trace:string ->
+  cached:bool ->
+  want_schedule:bool ->
+  result ->
+  string
+
+val core_fields : want_schedule:bool -> result -> string
+(** The result-dependent tail of an ok line (from ["degraded"…] to the
+    closing brace). Only depends on the result, so it can be rendered
+    once and reused — see {!Service}. *)
+
+val ok_line_with_core :
+  ?id:string -> trace:string -> cached:bool -> string -> string
+(** Splice a {!core_fields} rendering under a per-request prefix;
+    [ok_line] ≡ [ok_line_with_core … (core_fields …)], byte for byte. *)
+
+val error_line : ?id:string -> trace:string -> string -> string

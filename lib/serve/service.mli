@@ -1,0 +1,78 @@
+(** The scheduling service: request → graph → fingerprint → cache → (on
+    a miss) the threaded scheduler.
+
+    [prepare] resolves the design and computes the cache key; [execute]
+    consults the cache and schedules on a miss. The split exists so the
+    batch runner can dedupe identical requests {e before} fanning out to
+    the worker pool. A name-memo short-circuits repeat requests for
+    registry benchmarks past graph construction and fingerprinting —
+    the warm path is a hash lookup plus rendering.
+
+    Results produced after a deadline overrun ([degraded = true]) are
+    never cached. *)
+
+open Import
+
+type t
+
+val create : ?cache_capacity:int -> unit -> t
+(** [cache_capacity] defaults to 256 results. *)
+
+val cache_stats : t -> Cache.stats
+
+val next_trace : t -> prefix:string -> string
+(** Monotone per-service trace ids, e.g. [s-000042]. *)
+
+type prepared
+
+val prepare : t -> Protocol.request -> (prepared, string) result
+(** Resolve the spec (registry lookup / parse / lower), validate, and
+    compute the cache key. Cheap for a warm named design. *)
+
+val key_of : prepared -> string
+val request_of : prepared -> Protocol.request
+
+val cached : t -> prepared -> bool
+(** Advisory: is the result in cache right now? (Does not touch recency
+    or the counters.) *)
+
+type outcome
+(** A {!Protocol.result} plus memoized renderings of its response core
+    — what the cache stores, so warm responses are a string splice. *)
+
+val result_of : outcome -> Protocol.result
+
+val line :
+  ?id:string ->
+  trace:string ->
+  cached:bool ->
+  want_schedule:bool ->
+  outcome ->
+  string
+(** Render the ok response line; byte-identical to {!Protocol.ok_line}
+    on [result_of], but reuses the memoized core. *)
+
+val execute : ?deadline:float -> t -> prepared -> outcome * bool
+(** Returns [(outcome, cached)]. [deadline] is an absolute
+    [Unix.gettimeofday] instant: once it passes, the remaining
+    operations are fast-placed (first feasible position — still a valid
+    threaded schedule, marked [degraded]) instead of diameter-optimised.
+    May raise (scheduler errors, evicted-and-unbuildable specs); callers
+    run it under {!Pool} which captures exceptions. *)
+
+val schedule_graph :
+  ?deadline:float ->
+  meta:string ->
+  resources:Resources.t ->
+  Graph.t ->
+  Soft.Threaded_graph.t * bool
+(** The scheduling step alone, exposed for the deadline tests:
+    [(state, degraded)]. *)
+
+val save_cache : t -> string -> unit
+(** Persist the cache as NDJSON ([{"key",…,"result",…}] per line),
+    least recently used first; atomic (tmp file + rename). *)
+
+val load_cache : t -> string -> (int, string) result
+(** Load a {!save_cache} file (missing file = [Ok 0] entries), restoring
+    recency order. [Error] names the first malformed line. *)

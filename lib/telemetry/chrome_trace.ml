@@ -108,6 +108,19 @@ let to_string ?(process_name = "softsched scheduler") ?(tracks = [])
             ("args",
              Printf.sprintf "{\"rows\":%d,\"words\":%d}" rows words);
           ]
+      | Events.Cache_event { op; key } ->
+        record ctx
+          [
+            ("name",
+             str
+               (match op with
+               | `Hit -> "cache hit"
+               | `Miss -> "cache miss"
+               | `Evict -> "cache evict"));
+            ("cat", str "cache"); ("ph", str "i"); ("ts", us_of_ns ctx at_ns);
+            ("pid", "1"); ("tid", "0"); ("s", str "p");
+            ("args", Printf.sprintf "{\"key\":%s}" (str key));
+          ]
       | Events.Schedule_done { v; thread; summary } ->
         let ts, name =
           match Hashtbl.find_opt starts v with

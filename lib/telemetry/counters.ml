@@ -25,6 +25,9 @@ type t = {
   mutable closure_words_ored : int;
   mutable closure_rebuilds : int;
   mutable closure_incremental_updates : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable cache_evictions : int;
 }
 
 type snapshot = {
@@ -49,6 +52,9 @@ type snapshot = {
   closure_words_ored : int;
   closure_rebuilds : int;
   closure_incremental_updates : int;
+  cache_hits : int;
+  cache_misses : int;
+  cache_evictions : int;
 }
 
 let create () =
@@ -73,6 +79,9 @@ let create () =
     closure_words_ored = 0;
     closure_rebuilds = 0;
     closure_incremental_updates = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    cache_evictions = 0;
   }
 
 let sink (c : t) =
@@ -109,6 +118,12 @@ let sink (c : t) =
         if rebuilt then c.closure_rebuilds <- c.closure_rebuilds + 1
         else
           c.closure_incremental_updates <- c.closure_incremental_updates + 1);
+    cache_event =
+      (fun ~op ~key:_ ->
+        match op with
+        | `Hit -> c.cache_hits <- c.cache_hits + 1
+        | `Miss -> c.cache_misses <- c.cache_misses + 1
+        | `Evict -> c.cache_evictions <- c.cache_evictions + 1);
   }
 
 let snapshot (c : t) : snapshot =
@@ -134,6 +149,9 @@ let snapshot (c : t) : snapshot =
     closure_words_ored = c.closure_words_ored;
     closure_rebuilds = c.closure_rebuilds;
     closure_incremental_updates = c.closure_incremental_updates;
+    cache_hits = c.cache_hits;
+    cache_misses = c.cache_misses;
+    cache_evictions = c.cache_evictions;
   }
 
 (* Key/value view of a snapshot, keys sorted, used by the aligned
@@ -170,6 +188,17 @@ let to_alist (s : snapshot) : (string * float) list =
     match s.last_ordered_pairs with
     | Some p -> ("last_ordered_pairs", f p) :: rows
     | None -> rows
+  in
+  (* Cache counters only appear when a cache was actually in play, so
+     reports from the cache-less flow (and their committed baselines)
+     keep their historical key set. *)
+  let rows =
+    if s.cache_hits + s.cache_misses + s.cache_evictions = 0 then rows
+    else
+      ("cache_evictions", f s.cache_evictions)
+      :: ("cache_hits", f s.cache_hits)
+      :: ("cache_misses", f s.cache_misses)
+      :: rows
   in
   List.sort (fun (a, _) (b, _) -> compare a b) rows
 
@@ -224,5 +253,8 @@ let to_string (s : snapshot) =
     line "  closure rows touched  %8d  (%d words OR'd)" s.closure_rows_touched
       s.closure_words_ored
   end;
+  if s.cache_hits + s.cache_misses + s.cache_evictions > 0 then
+    line "  result cache          %8d hits, %d misses, %d evictions"
+      s.cache_hits s.cache_misses s.cache_evictions;
   line "  time in scheduler     %11.2f ms" (float_of_int s.elapsed_ns /. 1e6);
   Buffer.contents b

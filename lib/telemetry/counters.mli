@@ -29,6 +29,9 @@ type snapshot = {
   closure_words_ored : int;  (** 64-bit words OR'd by those unions *)
   closure_rebuilds : int;  (** syncs forced to rebuild from scratch *)
   closure_incremental_updates : int;  (** syncs served by journal replay *)
+  cache_hits : int;  (** result-cache lookups served from memory *)
+  cache_misses : int;  (** lookups that fell through to the scheduler *)
+  cache_evictions : int;  (** LRU entries dropped to stay within capacity *)
 }
 
 val create : unit -> t
@@ -45,7 +48,8 @@ val to_alist : snapshot -> (string * float) list
 (** Key/value view, keys sorted ascending. Gauge fields carry a [last_]
     prefix (most-recent value, not a monotone count);
     [last_ordered_pairs] is present only when a softness sample was
-    taken. *)
+    taken, and the [cache_*] trio only when any cache traffic was
+    observed (the cache-less flow keeps its historical key set). *)
 
 val dump : snapshot -> string
 (** One [key value] line per counter, keys sorted and aligned — the

@@ -17,6 +17,11 @@ type summary = {
   elapsed_ns : int;  (* wall time spent inside the schedule call *)
 }
 
+(* Result-cache traffic (the serving layer's fingerprint cache). One
+   hook covers all three outcomes so tee/null stay small; [key] is the
+   cache key (fingerprint + configuration), useful in text traces. *)
+type cache_op = [ `Hit | `Miss | `Evict ]
+
 module Sink = struct
   type t = {
     schedule_start : v:int -> name:string -> unit;
@@ -43,6 +48,9 @@ module Sink = struct
             this sync; [rebuilt] is true when an uncovered edge removal
             forced a from-scratch closure instead of an incremental
             update. *)
+    cache_event : op:cache_op -> key:string -> unit;
+        (** Fingerprint-cache traffic from the serving layer: a lookup
+            that hit, a lookup that missed, or an LRU eviction. *)
   }
 
   let null =
@@ -56,6 +64,7 @@ module Sink = struct
       free_placed = (fun ~v:_ ~name:_ -> ());
       schedule_done = (fun ~v:_ ~thread:_ ~summary:_ -> ());
       reach_update = (fun ~rows:_ ~words:_ ~rebuilt:_ -> ());
+      cache_event = (fun ~op:_ ~key:_ -> ());
     }
 
   let tee a b =
@@ -96,6 +105,10 @@ module Sink = struct
         (fun ~rows ~words ~rebuilt ->
           a.reach_update ~rows ~words ~rebuilt;
           b.reach_update ~rows ~words ~rebuilt);
+      cache_event =
+        (fun ~op ~key ->
+          a.cache_event ~op ~key;
+          b.cache_event ~op ~key);
     }
 end
 
@@ -167,6 +180,7 @@ type event =
   | Free_placed of { v : int; name : string }
   | Schedule_done of { v : int; thread : int option; summary : summary }
   | Reach_update of { rows : int; words : int; rebuilt : bool }
+  | Cache_event of { op : cache_op; key : string }
 
 type timed = { at_ns : int; event : event }
 
@@ -196,6 +210,7 @@ module Recorder = struct
         (fun ~v ~thread ~summary -> push r (Schedule_done { v; thread; summary }));
       reach_update =
         (fun ~rows ~words ~rebuilt -> push r (Reach_update { rows; words; rebuilt }));
+      cache_event = (fun ~op ~key -> push r (Cache_event { op; key }));
     }
 
   let events r = List.rev r.rev_events

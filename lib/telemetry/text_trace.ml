@@ -40,6 +40,10 @@ let to_string ?(vertex = default_vertex) ?(thread = string_of_int)
         line at "reach %s: %d rows, %d words OR'd"
           (if rebuilt then "rebuild" else "update")
           rows words
+      | Events.Cache_event { op; key } ->
+        line at "cache %s %s"
+          (match op with `Hit -> "hit  " | `Miss -> "miss " | `Evict -> "evict")
+          key
       | Events.Schedule_done { v = _; thread = k; summary } ->
         let where =
           match k with

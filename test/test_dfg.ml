@@ -766,6 +766,35 @@ let prop_eval_deterministic =
       in
       Eval.run g env = Eval.run g env)
 
+(* parse(print g) is isomorphic to g: the vertex names carry the
+   bijection, so compare op/delay and the predecessor *set* vertexwise
+   (plain Serial interleaves edge lines by source, so operand order is
+   only preserved per (print, parse) pair, not guaranteed here —
+   Serve.Fingerprint.canonical is the operand-order-exact variant). *)
+let prop_serial_roundtrip_iso =
+  QCheck.Test.make ~name:"Serial round-trip is an isomorphism" ~count:100
+    seeded_dag (fun spec ->
+      let g = graph_of spec in
+      let h = Dfg.Serial.of_string (Dfg.Serial.to_string g) in
+      let h_of_name = Hashtbl.create 64 in
+      Graph.iter_vertices
+        (fun v -> Hashtbl.replace h_of_name (Graph.name h v) v)
+        h;
+      let sorted_pred_names gr v =
+        List.sort compare (List.map (Graph.name gr) (Graph.preds gr v))
+      in
+      Graph.n_vertices g = Graph.n_vertices h
+      && Graph.n_edges g = Graph.n_edges h
+      && List.for_all
+           (fun v ->
+             match Hashtbl.find_opt h_of_name (Graph.name g v) with
+             | None -> false
+             | Some w ->
+               Graph.op g v = Graph.op h w
+               && Graph.delay g v = Graph.delay h w
+               && sorted_pred_names g v = sorted_pred_names h w)
+           (Graph.vertices g))
+
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -779,6 +808,7 @@ let qcheck_cases =
       prop_incremental_reach_oracle;
       prop_eval_deterministic;
       prop_reduction_preserves_reachability;
+      prop_serial_roundtrip_iso;
     ]
 
 let () =

@@ -1,0 +1,622 @@
+(* Tests for the scheduling service layer: structural fingerprinting,
+   the LRU result cache, the worker pool, deadline degradation, NDJSON
+   batch determinism and the socket daemon's drain. *)
+
+module Graph = Dfg.Graph
+module Op = Dfg.Op
+module Serial = Dfg.Serial
+module Generate = Dfg.Generate
+module Resources = Hard.Resources
+module Schedule = Hard.Schedule
+module T = Soft.Threaded_graph
+module Fingerprint = Serve.Fingerprint
+module Cache = Serve.Cache
+module Pool = Serve.Pool
+module Protocol = Serve.Protocol
+module Service = Serve.Service
+module Batch = Serve.Batch
+module Daemon = Serve.Daemon
+
+let check = Alcotest.check
+
+let contains s sub =
+  let n = String.length sub in
+  let rec at i =
+    i + n <= String.length s && (String.sub s i n = sub || at (i + 1))
+  in
+  at 0
+
+let default_resources () =
+  Resources.make
+    [ (Resources.Alu, 2); (Resources.Multiplier, 2); (Resources.Memory, 1) ]
+
+(* --- fingerprint ---------------------------------------------------- *)
+
+(* The same dataflow built under different names, a different vertex
+   insertion order and a different edge interleaving (operand order
+   kept) must hash equal. *)
+let test_fingerprint_iso_invariance () =
+  let g1 =
+    let g = Graph.create () in
+    let x = Graph.add_vertex g ~name:"x" (Op.Input "p") in
+    let y = Graph.add_vertex g ~name:"y" (Op.Input "q") in
+    let m = Graph.add_vertex g ~name:"m" Op.Mul in
+    let s = Graph.add_vertex g ~name:"s" Op.Sub in
+    Graph.add_edge g x m;
+    Graph.add_edge g y m;
+    Graph.add_edge g x s;
+    Graph.add_edge g m s;
+    g
+  in
+  let g2 =
+    let g = Graph.create () in
+    (* reversed insertion order, fresh names, same operand order *)
+    let s = Graph.add_vertex g ~name:"out" Op.Sub in
+    let m = Graph.add_vertex g ~name:"prod" Op.Mul in
+    let y = Graph.add_vertex g ~name:"b" (Op.Input "q") in
+    let x = Graph.add_vertex g ~name:"a" (Op.Input "p") in
+    Graph.add_edge g x m;
+    Graph.add_edge g y m;
+    Graph.add_edge g x s;
+    Graph.add_edge g m s;
+    g
+  in
+  check Alcotest.bool "isomorphic graphs hash equal" true
+    (Fingerprint.hash g1 = Fingerprint.hash g2);
+  check Alcotest.string "canonical forms coincide"
+    (Fingerprint.canonical g1) (Fingerprint.canonical g2)
+
+(* sub(a, b) vs sub(b, a): operand order is semantic and must move the
+   hash even though the underlying edge sets are equal. *)
+let test_fingerprint_operand_order () =
+  let build flip =
+    let g = Graph.create () in
+    let a = Graph.add_vertex g (Op.Input "a") in
+    let b = Graph.add_vertex g (Op.Input "b") in
+    let s = Graph.add_vertex g Op.Sub in
+    if flip then begin
+      Graph.add_edge g b s;
+      Graph.add_edge g a s
+    end
+    else begin
+      Graph.add_edge g a s;
+      Graph.add_edge g b s
+    end;
+    g
+  in
+  check Alcotest.bool "operand swap moves the hash" false
+    (Fingerprint.hash (build false) = Fingerprint.hash (build true))
+
+let test_fingerprint_key () =
+  let g = (Hls_bench.Suite.find "HAL").Hls_bench.Suite.build () in
+  let r = default_resources () in
+  let k = Fingerprint.key ~resources:r g in
+  check Alcotest.bool "key carries the hex hash" true
+    (String.length k > 16
+    && String.sub k 0 16 = Fingerprint.to_hex (Fingerprint.hash g));
+  check Alcotest.bool "meta is part of the key" false
+    (Fingerprint.key ~meta:"dfs" ~resources:r g = k);
+  let r2 = Resources.make [ (Resources.Alu, 1); (Resources.Multiplier, 1) ] in
+  check Alcotest.bool "resources are part of the key" false
+    (Fingerprint.key ~resources:r2 g = k)
+
+(* --- fingerprint properties ----------------------------------------- *)
+
+let seeded_dag =
+  QCheck.make
+    ~print:(fun (n, p, seed) -> Printf.sprintf "n=%d p=%.2f seed=%d" n p seed)
+    QCheck.Gen.(
+      triple (int_range 2 30) (float_range 0.05 0.5) (int_range 0 10_000))
+
+let graph_of (n, p, seed) =
+  Generate.random_dag (Random.State.make [| seed |]) ~n ~edge_prob:p
+
+let prop_canonical_roundtrip =
+  QCheck.Test.make ~name:"canonical serialization round-trips the hash"
+    ~count:100 seeded_dag (fun spec ->
+      let g = graph_of spec in
+      let c = Fingerprint.canonical g in
+      let h = Serial.of_string c in
+      Fingerprint.hash h = Fingerprint.hash g && Fingerprint.canonical h = c)
+
+let prop_edge_moves_hash =
+  QCheck.Test.make ~name:"adding one edge moves the hash" ~count:100
+    seeded_dag (fun (n, p, seed) ->
+      let g = graph_of (n, p, seed) in
+      (* first absent forward pair, if any: adding it keeps the DAG *)
+      let missing = ref None in
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          if !missing = None && not (Graph.mem_edge g i j) then
+            missing := Some (i, j)
+        done
+      done;
+      match !missing with
+      | None -> true
+      | Some (u, v) ->
+        let before = Fingerprint.hash g in
+        Graph.add_edge g u v;
+        Fingerprint.hash g <> before)
+
+(* --- cache ----------------------------------------------------------- *)
+
+let test_cache_lru_eviction () =
+  let c = Cache.create ~capacity:2 in
+  check Alcotest.(option int) "miss on empty" None (Cache.find c "a");
+  Cache.add c "a" 1;
+  Cache.add c "b" 2;
+  check Alcotest.(option int) "hit a" (Some 1) (Cache.find c "a");
+  (* "a" is now most recent; adding "c" must evict "b" *)
+  Cache.add c "c" 3;
+  check Alcotest.(option int) "b evicted" None (Cache.find c "b");
+  check Alcotest.(option int) "a kept" (Some 1) (Cache.find c "a");
+  check Alcotest.(option int) "c kept" (Some 3) (Cache.find c "c");
+  let s = Cache.stats c in
+  check Alcotest.int "hits" 3 s.Cache.hits;
+  check Alcotest.int "misses" 2 s.Cache.misses;
+  check Alcotest.int "evictions" 1 s.Cache.evictions;
+  check Alcotest.int "length" 2 s.Cache.length;
+  check
+    Alcotest.(list string)
+    "recency order" [ "c"; "a" ]
+    (List.rev (Cache.fold_mru c (fun acc k _ -> k :: acc) []))
+
+let test_cache_replace () =
+  let c = Cache.create ~capacity:2 in
+  Cache.add c "a" 1;
+  Cache.add c "a" 2;
+  check Alcotest.int "no duplicate" 1 (Cache.length c);
+  check Alcotest.(option int) "replaced" (Some 2) (Cache.find c "a");
+  check Alcotest.bool "mem is counter-neutral" true (Cache.mem c "a");
+  let s = Cache.stats c in
+  check Alcotest.int "one hit" 1 s.Cache.hits;
+  check Alcotest.int "no misses" 0 s.Cache.misses
+
+let test_cache_telemetry_counters () =
+  let counters = Telemetry.Counters.create () in
+  Telemetry.with_sink (Telemetry.Counters.sink counters) (fun () ->
+      let c = Cache.create ~capacity:2 in
+      ignore (Cache.find c "a");
+      Cache.add c "a" 1;
+      ignore (Cache.find c "a");
+      Cache.add c "b" 2;
+      Cache.add c "c" 3);
+  let s = Telemetry.Counters.snapshot counters in
+  check Alcotest.int "cache_hits" 1 s.Telemetry.Counters.cache_hits;
+  check Alcotest.int "cache_misses" 1 s.Telemetry.Counters.cache_misses;
+  check Alcotest.int "cache_evictions" 1 s.Telemetry.Counters.cache_evictions;
+  check Alcotest.bool "cache rows surface in to_alist" true
+    (List.mem_assoc "cache_hits" (Telemetry.Counters.to_alist s));
+  (* A cache-less run keeps its historical key set. *)
+  let empty =
+    Telemetry.Counters.snapshot (Telemetry.Counters.create ())
+  in
+  check Alcotest.bool "no cache rows without traffic" false
+    (List.mem_assoc "cache_hits" (Telemetry.Counters.to_alist empty))
+
+(* --- pool ------------------------------------------------------------ *)
+
+let test_pool_results () =
+  let p = Pool.create ~jobs:4 () in
+  let futs = List.init 40 (fun i -> Pool.submit p (fun () -> i * i)) in
+  List.iteri
+    (fun i f ->
+      match Pool.await f with
+      | Ok v -> check Alcotest.int "job result" (i * i) v
+      | Error e -> Alcotest.failf "job %d failed: %s" i (Printexc.to_string e))
+    futs;
+  Pool.shutdown p
+
+let test_pool_exception_captured () =
+  let p = Pool.create ~jobs:1 () in
+  let f = Pool.submit p (fun () -> failwith "boom") in
+  (match Pool.await f with
+  | Error (Failure m) when m = "boom" -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected the captured Failure");
+  Pool.shutdown p
+
+let test_pool_cancel_and_drain () =
+  let p = Pool.create ~jobs:1 ~queue_cap:8 () in
+  let gate = Mutex.create () in
+  let cond = Condition.create () in
+  let release = ref false in
+  let blocker =
+    Pool.submit p (fun () ->
+        Mutex.lock gate;
+        while not !release do
+          Condition.wait cond gate
+        done;
+        Mutex.unlock gate;
+        "blocker")
+  in
+  Thread.delay 0.05 (* let the single worker claim the blocker *);
+  let queued = Pool.submit p (fun () -> "queued") in
+  let doomed = Pool.submit p (fun () -> "doomed") in
+  check Alcotest.bool "queued job cancels" true (Pool.cancel doomed);
+  check Alcotest.bool "cancel is idempotent-false" false (Pool.cancel doomed);
+  check Alcotest.bool "running job does not cancel" false (Pool.cancel blocker);
+  (match Pool.await doomed with
+  | Error (Invalid_argument _) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected cancelled await to error");
+  Mutex.lock gate;
+  release := true;
+  Condition.broadcast cond;
+  Mutex.unlock gate;
+  (* Drain: everything still queued runs to completion. *)
+  Pool.shutdown p;
+  (match Pool.await blocker with
+  | Ok "blocker" -> ()
+  | _ -> Alcotest.fail "blocker should have completed");
+  (match Pool.await queued with
+  | Ok "queued" -> ()
+  | _ -> Alcotest.fail "queued job should have run during the drain");
+  check Alcotest.bool "draining pool refuses work" true
+    (Pool.try_submit p (fun () -> ()) = None)
+
+(* --- protocol -------------------------------------------------------- *)
+
+let test_protocol_request_defaults () =
+  match Protocol.request_of_line {|{"design":"HAL"}|} with
+  | Error m -> Alcotest.fail m
+  | Ok r ->
+    check Alcotest.string "default meta" "topo" r.Protocol.meta;
+    check Alcotest.string "default resources" "2 alu, 2 mul, 1 mem"
+      (Resources.to_string r.Protocol.resources);
+    check Alcotest.bool "default want_schedule" true r.Protocol.want_schedule;
+    check Alcotest.(option string) "no id" None r.Protocol.id
+
+let test_protocol_request_errors () =
+  let err line =
+    match Protocol.request_of_line line with
+    | Error _ -> true
+    | Ok _ -> false
+  in
+  check Alcotest.bool "spec required" true (err {|{}|});
+  check Alcotest.bool "specs exclusive" true
+    (err {|{"design":"HAL","dfg":"vertex a add"}|});
+  check Alcotest.bool "unknown meta" true
+    (err {|{"design":"HAL","meta":"zigzag"}|});
+  check Alcotest.bool "bad resources" true
+    (err {|{"design":"HAL","resources":"2tpu"}|});
+  check Alcotest.bool "negative deadline" true
+    (err {|{"design":"HAL","deadline_ms":-5}|});
+  check Alcotest.bool "non-object" true (err {|[1,2]|});
+  check Alcotest.bool "bad json" true (err {|{"design":|})
+
+let test_protocol_result_roundtrip () =
+  let service = Service.create () in
+  match Protocol.request_of_line {|{"design":"EF","meta":"dfs"}|} with
+  | Error m -> Alcotest.fail m
+  | Ok req -> (
+    match Service.prepare service req with
+    | Error m -> Alcotest.fail m
+    | Ok p ->
+      let o, _ = Service.execute service p in
+      let r = Service.result_of o in
+      (match Protocol.result_of_json (Protocol.result_to_json r) with
+      | Ok r' ->
+        check Alcotest.bool "result JSON round-trips" true (r = r')
+      | Error m -> Alcotest.fail m);
+      check Alcotest.string "ok_line equals memoized rendering"
+        (Protocol.ok_line ~id:"i" ~trace:"t" ~cached:false
+           ~want_schedule:true r)
+        (Service.line ~id:"i" ~trace:"t" ~cached:false ~want_schedule:true o))
+
+(* --- service --------------------------------------------------------- *)
+
+let request_for ?deadline_ms ?(meta = "topo") design =
+  {
+    Protocol.id = None;
+    spec = Protocol.Named design;
+    resources = default_resources ();
+    meta;
+    deadline_ms;
+    want_schedule = true;
+  }
+
+let test_service_cache_flow () =
+  let service = Service.create () in
+  let prep design =
+    match Service.prepare service (request_for design) with
+    | Ok p -> p
+    | Error m -> Alcotest.fail m
+  in
+  let p1 = prep "HAL" in
+  let _, cached1 = Service.execute service p1 in
+  check Alcotest.bool "first run computes" false cached1;
+  (* Re-preparing a named design goes through the name-memo. *)
+  let p2 = prep "HAL" in
+  let o2, cached2 = Service.execute service p2 in
+  check Alcotest.bool "second run hits" true cached2;
+  check Alcotest.bool "hit is advertised" true (Service.cached service p2);
+  let s = Service.cache_stats service in
+  check Alcotest.int "one hit" 1 s.Cache.hits;
+  check Alcotest.int "one miss" 1 s.Cache.misses;
+  (* The cached result is a valid schedule of the right shape. *)
+  let n =
+    Graph.n_vertices ((Hls_bench.Suite.find "HAL").Hls_bench.Suite.build ())
+  in
+  let r = Service.result_of o2 in
+  check Alcotest.int "vertex count" n r.Protocol.vertices;
+  check Alcotest.bool "not degraded" false r.Protocol.degraded;
+  check Alcotest.int "slots cover the graph" n
+    (List.length r.Protocol.assignment)
+
+let test_service_degraded_fallback () =
+  let resources = default_resources () in
+  let g = (Hls_bench.Suite.find "EF").Hls_bench.Suite.build () in
+  let deadline = Unix.gettimeofday () -. 1.0 (* already overrun *) in
+  let st, degraded = Service.schedule_graph ~deadline ~meta:"topo" ~resources g in
+  check Alcotest.bool "deadline overrun degrades" true degraded;
+  (match Soft.Invariant.check_all st with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "degraded state breaks invariants: %s" m);
+  (match Schedule.check ~resources (T.to_schedule st) with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "degraded schedule invalid: %s" m);
+  (* Degraded results answer the request but are never cached. *)
+  let service = Service.create () in
+  match Service.prepare service (request_for ~deadline_ms:0.0 "EF") with
+  | Error m -> Alcotest.fail m
+  | Ok p ->
+    let o, cached = Service.execute ~deadline service p in
+    check Alcotest.bool "computed, not cached" false cached;
+    check Alcotest.bool "marked degraded" true
+      (Service.result_of o).Protocol.degraded;
+    check Alcotest.bool "degraded result not stored" false
+      (Service.cached service p)
+
+let test_service_save_load () =
+  let service = Service.create () in
+  List.iter
+    (fun d ->
+      match Service.prepare service (request_for d) with
+      | Ok p -> ignore (Service.execute service p)
+      | Error m -> Alcotest.fail m)
+    [ "HAL"; "AR"; "EF" ];
+  let path = Filename.temp_file "softsched_cache" ".ndjson" in
+  Service.save_cache service path;
+  let service2 = Service.create () in
+  (match Service.load_cache service2 path with
+  | Ok n -> check Alcotest.int "three entries load" 3 n
+  | Error m -> Alcotest.fail m);
+  check Alcotest.int "lengths agree"
+    (Service.cache_stats service).Cache.length
+    (Service.cache_stats service2).Cache.length;
+  (* A reloaded cache answers without scheduling. *)
+  (match Service.prepare service2 (request_for "AR") with
+  | Ok p ->
+    let o, cached = Service.execute service2 p in
+    check Alcotest.bool "hit after reload" true cached;
+    check Alcotest.int "same diameter"
+      (let q = match Service.prepare service (request_for "AR") with
+         | Ok q -> q | Error m -> Alcotest.fail m in
+       (Service.result_of (fst (Service.execute service q))).Protocol.diameter)
+      (Service.result_of o).Protocol.diameter
+  | Error m -> Alcotest.fail m);
+  (* Malformed files are reported, missing files are empty. *)
+  let oc = open_out path in
+  output_string oc "not json\n";
+  close_out oc;
+  (match Service.load_cache (Service.create ()) path with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "malformed cache file must be reported");
+  Sys.remove path;
+  match Service.load_cache (Service.create ()) path with
+  | Ok 0 -> ()
+  | Ok n -> Alcotest.failf "missing file loaded %d entries" n
+  | Error m -> Alcotest.fail m
+
+(* --- batch ----------------------------------------------------------- *)
+
+let batch_lines =
+  [
+    {|{"id":"1","design":"HAL"}|};
+    {|{"id":"2","design":"AR","meta":"dfs"}|};
+    {|{"id":"3","design":"HAL"}|};
+    "";
+    {|{"id":"4","dfg":"vertex a in(a)\nvertex b in(b)\nvertex m mul\nedge a m\nedge b m"}|};
+    {|{"id":"5","design":"no-such-design"}|};
+    {|{"id":"6","design":"EF","schedule":false}|};
+  ]
+
+let test_batch_deterministic_across_jobs () =
+  let run jobs =
+    let service = Service.create () in
+    Batch.run_lines service ~jobs batch_lines
+  in
+  let out1, stats1 = run 1 in
+  let out2, _ = run 2 in
+  let out8, _ = run 8 in
+  check Alcotest.(list string) "jobs=2 equals jobs=1" out1 out2;
+  check Alcotest.(list string) "jobs=8 equals jobs=1" out1 out8;
+  check Alcotest.int "blank line skipped" 6 stats1.Batch.requests;
+  check Alcotest.int "duplicate rides the leader" 1 stats1.Batch.hits;
+  check Alcotest.int "one bad design" 1 stats1.Batch.errors;
+  check Alcotest.int "responses in input order" 6 (List.length out1);
+  (* The duplicate's response differs from the leader's only in id,
+     trace and cached flag. *)
+  check Alcotest.bool "dup marked cached" true
+    (contains (List.nth out1 2) {|"cached":true|})
+
+let test_batch_warm_hit_rate () =
+  let service = Service.create () in
+  let lines =
+    List.map
+      (fun (e : Hls_bench.Suite.entry) ->
+        Printf.sprintf {|{"design":%S}|} e.Hls_bench.Suite.name)
+      Hls_bench.Suite.all
+  in
+  let _, cold = Batch.run_lines service ~jobs:4 lines in
+  check Alcotest.int "cold pass misses" 0 cold.Batch.hits;
+  let out_warm, warm = Batch.run_lines service ~jobs:4 lines in
+  check Alcotest.int "warm pass all hits" warm.Batch.requests warm.Batch.hits;
+  check Alcotest.int "every design answered" (List.length lines)
+    (List.length out_warm);
+  check Alcotest.bool "summary advertises 100%" true
+    (contains (Batch.summary warm) "(100%)")
+
+(* --- daemon ----------------------------------------------------------- *)
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  (fd, Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+
+let send oc line =
+  output_string oc line;
+  output_char oc '\n';
+  flush oc
+
+let test_daemon_roundtrip_and_drain () =
+  let socket = Filename.temp_file "softsched" ".sock" in
+  (* temp_file created a regular file; Daemon.start replaces it *)
+  let service = Service.create () in
+  let d = Daemon.start service ~socket ~jobs:2 () in
+  let fd, ic, oc = connect socket in
+  send oc {|{"id":"a","design":"HAL","schedule":false}|};
+  let reply = input_line ic in
+  check Alcotest.bool "ok reply with trace" true
+    (contains reply {|"trace":"s-|});
+  (* Same request again: served from cache. *)
+  send oc {|{"id":"b","design":"HAL","schedule":false}|};
+  let reply2 = input_line ic in
+  check Alcotest.bool "second reply cached" true
+    (contains reply2 {|"cached":true|});
+  (* Drain: a request written before stop is still answered. *)
+  send oc {|{"id":"c","design":"AR","schedule":false}|};
+  Thread.delay 0.2 (* let the connection thread pick the line up *);
+  Daemon.stop d;
+  let reply3 = input_line ic in
+  check Alcotest.bool "in-flight request answered during drain" true
+    (contains reply3 {|"id":"c"|});
+  (* After the drain the connection is closed. *)
+  (match input_line ic with
+  | exception End_of_file -> ()
+  | exception Sys_error _ -> ()
+  | l -> Alcotest.failf "expected EOF after drain, got %s" l);
+  Daemon.wait d;
+  check Alcotest.bool "socket file removed" false (Sys.file_exists socket);
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let test_daemon_connection_limit () =
+  let socket = Filename.temp_file "softsched" ".sock" in
+  let service = Service.create () in
+  let d = Daemon.start service ~socket ~jobs:1 ~max_connections:1 () in
+  let fd1, ic1, oc1 = connect socket in
+  (* Prove the first connection is live (so the daemon has admitted it
+     before the second one shows up). *)
+  send oc1 {|{"design":"HAL","schedule":false}|};
+  ignore (input_line ic1);
+  let fd2, ic2, _ = connect socket in
+  let reply = input_line ic2 in
+  check Alcotest.bool "excess connection turned away" true
+    (contains reply "server busy");
+  Daemon.stop d;
+  Daemon.wait d;
+  (try Unix.close fd1 with Unix.Unix_error _ -> ());
+  (try Unix.close fd2 with Unix.Unix_error _ -> ());
+  ignore (ic1, oc1)
+
+(* --- registry plumbing (Resources.of_string / Meta.of_name) ---------- *)
+
+let test_resources_of_string () =
+  (match Resources.of_string "2alu,2mul,1mem" with
+  | Ok r ->
+    check Alcotest.string "parses" "2 alu, 2 mul, 1 mem"
+      (Resources.to_string r)
+  | Error m -> Alcotest.fail m);
+  (* to_string output parses back (the protocol echoes it). *)
+  (match Resources.of_string "2 alu, 2 mul, 1 mem" with
+  | Ok r ->
+    check Alcotest.string "round-trips" "2 alu, 2 mul, 1 mem"
+      (Resources.to_string r)
+  | Error m -> Alcotest.fail m);
+  (match Resources.of_string "2tpu" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown class must be rejected");
+  match Resources.of_string "" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty spec must be rejected"
+
+let test_meta_of_name () =
+  let resources = default_resources () in
+  List.iter
+    (fun n ->
+      match Soft.Meta.of_name ~resources n with
+      | Some _ -> ()
+      | None -> Alcotest.failf "meta %s should resolve" n)
+    Soft.Meta.names;
+  match Soft.Meta.of_name ~resources "zigzag" with
+  | None -> ()
+  | Some _ -> Alcotest.fail "unknown meta must not resolve"
+
+(* --------------------------------------------------------------------- *)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_canonical_roundtrip; prop_edge_moves_hash ]
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "fingerprint",
+        [
+          Alcotest.test_case "isomorphism invariance" `Quick
+            test_fingerprint_iso_invariance;
+          Alcotest.test_case "operand order" `Quick
+            test_fingerprint_operand_order;
+          Alcotest.test_case "cache key" `Quick test_fingerprint_key;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "lru eviction" `Quick test_cache_lru_eviction;
+          Alcotest.test_case "replace" `Quick test_cache_replace;
+          Alcotest.test_case "telemetry counters" `Quick
+            test_cache_telemetry_counters;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "results" `Quick test_pool_results;
+          Alcotest.test_case "exception captured" `Quick
+            test_pool_exception_captured;
+          Alcotest.test_case "cancel and drain" `Quick
+            test_pool_cancel_and_drain;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "request defaults" `Quick
+            test_protocol_request_defaults;
+          Alcotest.test_case "request errors" `Quick
+            test_protocol_request_errors;
+          Alcotest.test_case "result roundtrip" `Quick
+            test_protocol_result_roundtrip;
+        ] );
+      ( "service",
+        [
+          Alcotest.test_case "cache flow" `Quick test_service_cache_flow;
+          Alcotest.test_case "degraded fallback" `Quick
+            test_service_degraded_fallback;
+          Alcotest.test_case "save and load" `Quick test_service_save_load;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "deterministic across jobs" `Quick
+            test_batch_deterministic_across_jobs;
+          Alcotest.test_case "warm hit rate" `Quick test_batch_warm_hit_rate;
+        ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "roundtrip and drain" `Quick
+            test_daemon_roundtrip_and_drain;
+          Alcotest.test_case "connection limit" `Quick
+            test_daemon_connection_limit;
+        ] );
+      ( "plumbing",
+        [
+          Alcotest.test_case "Resources.of_string" `Quick
+            test_resources_of_string;
+          Alcotest.test_case "Meta.of_name" `Quick test_meta_of_name;
+        ] );
+      ("properties", qcheck_cases);
+    ]

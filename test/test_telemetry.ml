@@ -72,6 +72,11 @@ let test_causal_order () =
         (* Closure syncs happen whenever the state first observes a
            graph mutation — legal both inside and outside a call. *)
         ()
+      | Tel.Cache_event _ ->
+        (* Result-cache traffic comes from the serving layer, never from
+           inside a schedule call. *)
+        check Alcotest.bool "cache event outside calls" true
+          (!open_call = None)
       | Tel.Schedule_done { v; _ } ->
         check Alcotest.(option int) "done closes its call" (Some v) !open_call;
         open_call := None;
