@@ -942,7 +942,47 @@ let service_throughput () =
   record ~sec:"serve" ~name:"cold throughput" ~unit:"requests/s" cold1;
   record ~sec:"serve" ~name:"cold throughput jobs=4" ~unit:"requests/s" cold4;
   record ~sec:"serve" ~name:"warm throughput" ~unit:"requests/s" warm;
-  record ~sec:"serve" ~name:"warm/cold speedup" ~unit:"x" speedup
+  record ~sec:"serve" ~name:"warm/cold speedup" ~unit:"x" speedup;
+  (* Per-request latency through the full request path (parse, prepare,
+     execute, render), one sample per request into a log-bucketed
+     histogram — the tail is what the throughput means conceal. *)
+  let one_request service h line =
+    let module H = Telemetry.Histogram in
+    let t0 = Telemetry.now_ns () in
+    (match Serve.Protocol.request_of_line line with
+    | Error _ -> ()
+    | Ok req -> (
+      match Serve.Service.prepare service req with
+      | Error _ -> ()
+      | Ok p ->
+        let o, cached = Serve.Service.execute service p in
+        ignore
+          (Serve.Service.line ~trace:"bench" ~cached
+             ~want_schedule:req.Serve.Protocol.want_schedule o)));
+    H.record h (Telemetry.now_ns () - t0)
+  in
+  let h_cold = Telemetry.Histogram.create () in
+  for _ = 1 to cold_iters do
+    let service = Serve.Service.create () in
+    List.iter (one_request service h_cold) lines
+  done;
+  let h_warm = Telemetry.Histogram.create () in
+  for _ = 1 to warm_iters do
+    List.iter (one_request service h_warm) lines
+  done;
+  let pct h p = float (Telemetry.Histogram.percentile h p) /. 1e6 in
+  let report label h =
+    Printf.printf "  %-26s %12.3f / %.3f / %.3f ms (p50/p95/p99)\n" label
+      (pct h 50.0) (pct h 95.0) (pct h 99.0);
+    List.iter
+      (fun p ->
+        record ~sec:"serve"
+          ~name:(Printf.sprintf "%s latency p%.0f" label p)
+          ~unit:"ms" (pct h p))
+      [ 50.0; 95.0; 99.0 ]
+  in
+  report "cold" h_cold;
+  report "warm" h_warm
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                              *)

@@ -162,8 +162,11 @@ module Tel_cli = struct
   (* Install a counting + recording sink around [f] when any telemetry
      output was requested, then emit the requested artifacts.
      [vertex] renders vertex ids; [tracks_of] names the trace tracks
-     from [f]'s result (the scheduling state knows its threads). *)
-  let run o ~vertex ~tracks_of f =
+     from [f]'s result (the scheduling state knows its threads).
+     [log] receives the "wrote …" notes and the counter dump — batch
+     and serve point it at stderr, their stdout belongs to the
+     protocol. *)
+  let run ?(log = stdout) o ~vertex ~tracks_of f =
     if not (active o) then f ()
     else begin
       let counters = Telemetry.Counters.create () in
@@ -185,7 +188,7 @@ module Tel_cli = struct
       let write_or_fail path f =
         (try f () with
         | Sys_error m -> failwith (Printf.sprintf "cannot write trace: %s" m));
-        Printf.printf "wrote %s (%d events)\n" path
+        Printf.fprintf log "wrote %s (%d events)\n" path
           (Telemetry.Recorder.length recorder)
       in
       (match o.trace with
@@ -200,8 +203,9 @@ module Tel_cli = struct
             Telemetry.Text_trace.write ~vertex ~path events)
       | None -> ());
       if o.stats then
-        print_string
+        output_string log
           (Telemetry.Counters.to_string (Telemetry.Counters.snapshot counters));
+      flush log;
       result
     end
 end
@@ -674,15 +678,29 @@ let save_cache service = function
   | None -> ()
   | Some path -> Serve.Service.save_cache service path
 
-let run_batch jobs cache_size cache_file =
+(* The service-layer spans carry opaque vertex/thread ids (no single
+   design is in scope), so trace files from batch/serve render vertices
+   numerically. *)
+let numeric_vertex v = Printf.sprintf "v%d" v
+
+let run_batch jobs cache_size cache_file tel =
   term_of_failure @@ fun () ->
   if jobs <= 0 then failwith "--jobs must be positive";
   if cache_size <= 0 then failwith "--cache-size must be positive";
-  let service = Serve.Service.create ~cache_capacity:cache_size () in
+  let metrics =
+    if tel.Tel_cli.stats then Some (Serve.Metrics.create ()) else None
+  in
+  let service = Serve.Service.create ~cache_capacity:cache_size ?metrics () in
   load_cache_or_fail service cache_file;
-  let stats = Serve.Batch.run_channels service ~jobs stdin stdout in
+  let stats =
+    Tel_cli.run ~log:stderr tel ~vertex:numeric_vertex ~tracks_of:(fun _ -> [])
+      (fun () -> Serve.Batch.run_channels service ~jobs stdin stdout)
+  in
   save_cache service cache_file;
-  prerr_endline (Serve.Batch.summary stats)
+  prerr_endline (Serve.Batch.summary stats);
+  match metrics with
+  | Some m -> prerr_string (Serve.Metrics.summary m)
+  | None -> ()
 
 let batch_cmd =
   Cmd.v
@@ -691,71 +709,212 @@ let batch_cmd =
          "Schedule a stream of NDJSON requests: one JSON request object per \
           stdin line, one JSON response per stdout line, in input order. \
           Identical requests are answered from the fingerprint cache; the \
-          output is byte-identical for any --jobs. A summary line goes to \
-          stderr.")
-    Term.(ret (const run_batch $ jobs_arg $ cache_size_arg $ cache_file_arg))
+          output is byte-identical for any --jobs, with or without \
+          telemetry. A summary line goes to stderr; --stats adds the \
+          scheduler counters and a per-phase latency table (also stderr).")
+    Term.(
+      ret
+        (const run_batch $ jobs_arg $ cache_size_arg $ cache_file_arg
+        $ Tel_cli.term))
 
-let run_serve socket jobs max_connections cache_size cache_file =
+(* Atomic (tmp + rename) so a scraper reading the file mid-dump never
+   sees a torn snapshot. *)
+let write_atomic path content =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc content;
+  close_out oc;
+  Sys.rename tmp path
+
+(* One dump = the JSON snapshot to FILE plus Prometheus text exposition
+   to FILE.prom. *)
+let dump_metrics service metrics path =
+  let cache = Serve.Service.cache_stats service in
+  write_atomic path
+    (Qor.Json.to_string ~minify:false
+       (Serve.Metrics.snapshot_json ~cache metrics)
+    ^ "\n");
+  write_atomic (path ^ ".prom") (Serve.Metrics.to_prometheus ~cache metrics)
+
+let run_serve socket jobs max_connections cache_size cache_file metrics_file
+    metrics_interval slow_ms slow_log tel =
   term_of_failure @@ fun () ->
   if jobs <= 0 then failwith "--jobs must be positive";
   if cache_size <= 0 then failwith "--cache-size must be positive";
   if max_connections <= 0 then failwith "--max-connections must be positive";
-  let service = Serve.Service.create ~cache_capacity:cache_size () in
+  if metrics_interval <= 0.0 then failwith "--metrics-interval must be positive";
+  (match slow_ms with
+  | Some t when t < 0.0 -> failwith "--slow-ms must be non-negative"
+  | _ -> ());
+  let metrics = Serve.Metrics.create () in
+  (match (slow_ms, slow_log) with
+  | None, None -> ()
+  | threshold, target ->
+    let threshold_ms = Option.value ~default:100.0 threshold in
+    let target = match target with None -> `Stderr | Some p -> `File p in
+    Serve.Metrics.set_slow_log metrics ~threshold_ms target);
+  let service = Serve.Service.create ~cache_capacity:cache_size ~metrics () in
   load_cache_or_fail service cache_file;
-  let daemon =
-    Serve.Daemon.start service ~socket ~jobs ~max_connections ()
+  let dump () =
+    match metrics_file with
+    | None -> ()
+    | Some path -> dump_metrics service metrics path
   in
-  (* The handler only raises a flag; the main thread notices it between
-     naps and runs the actual drain — signal-handler-safe by
-     construction. *)
-  let stop_requested = ref false in
-  let request_stop _ = stop_requested := true in
-  Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
-  Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
-  Printf.eprintf "softsched serve: listening on %s (%d jobs, %d connections)\n%!"
-    socket jobs max_connections;
-  while not !stop_requested do
-    Thread.delay 0.1
-  done;
-  Printf.eprintf "softsched serve: draining...\n%!";
-  Serve.Daemon.stop daemon;
-  Serve.Daemon.wait daemon;
+  Tel_cli.run ~log:stderr tel ~vertex:numeric_vertex ~tracks_of:(fun _ -> [])
+    (fun () ->
+      let daemon = Serve.Daemon.start service ~socket ~jobs ~max_connections () in
+      (* The handler only raises a flag; the main thread notices it between
+         naps and runs the actual drain — signal-handler-safe by
+         construction. *)
+      let stop_requested = ref false in
+      let request_stop _ = stop_requested := true in
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+      Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+      Printf.eprintf
+        "softsched serve: listening on %s (%d jobs, %d connections)\n%!" socket
+        jobs max_connections;
+      let last_dump = ref (Unix.gettimeofday ()) in
+      while not !stop_requested do
+        Thread.delay 0.1;
+        if
+          metrics_file <> None
+          && Unix.gettimeofday () -. !last_dump >= metrics_interval
+        then begin
+          dump ();
+          last_dump := Unix.gettimeofday ()
+        end
+      done;
+      Printf.eprintf "softsched serve: draining...\n%!";
+      Serve.Daemon.stop daemon;
+      Serve.Daemon.wait daemon);
   save_cache service cache_file;
+  dump ();
   let s = Serve.Service.cache_stats service in
   Printf.eprintf
     "softsched serve: drained; cache %d/%d entries, %d hits, %d misses, %d \
      evictions\n\
      %!"
     s.Serve.Cache.length s.Serve.Cache.capacity s.Serve.Cache.hits
-    s.Serve.Cache.misses s.Serve.Cache.evictions
+    s.Serve.Cache.misses s.Serve.Cache.evictions;
+  prerr_string (Serve.Metrics.summary metrics);
+  flush stderr;
+  Serve.Metrics.close_slow_log metrics
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket to listen on (stale files are replaced).")
 
 let serve_cmd =
-  let socket =
-    Arg.(
-      required
-      & opt (some string) None
-      & info [ "socket" ] ~docv:"PATH"
-          ~doc:"Unix-domain socket to listen on (stale files are replaced).")
-  in
   let max_connections =
     Arg.(
       value & opt int 32
       & info [ "max-connections" ] ~docv:"N"
           ~doc:
             "Concurrent connection limit; excess connections receive one \
-             error line and are closed.")
+             error line (with a retry_after_ms back-off hint) and are \
+             closed.")
+  in
+  let metrics_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-file" ] ~docv:"FILE"
+          ~doc:
+            "Dump the metrics snapshot every --metrics-interval seconds and \
+             once more on drain: JSON to $(docv), Prometheus text \
+             exposition to $(docv).prom. Dumps are atomic (tmp + rename).")
+  in
+  let metrics_interval =
+    Arg.(
+      value & opt float 5.0
+      & info [ "metrics-interval" ] ~docv:"SECONDS"
+          ~doc:"Seconds between --metrics-file dumps (default 5).")
+  in
+  let slow_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "slow-ms" ] ~docv:"MS"
+          ~doc:
+            "Log every request whose total latency is at least $(docv) \
+             milliseconds as one NDJSON line with the per-phase breakdown \
+             (to stderr, or --slow-log). Implies a 100ms threshold when \
+             only --slow-log is given.")
+  in
+  let slow_log =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "slow-log" ] ~docv:"FILE"
+          ~doc:"Append slow-request NDJSON lines to $(docv) instead of stderr.")
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run the scheduling daemon on a Unix-domain socket, speaking the \
           same NDJSON protocol as batch (one request line, one response \
-          line). SIGTERM/SIGINT drain: in-flight requests complete and are \
-          answered before exit.")
+          line). A {\"admin\":\"stats\"} request line answers with a live \
+          metrics snapshot (see the stats subcommand). SIGTERM/SIGINT \
+          drain: in-flight requests complete and are answered before exit.")
     Term.(
       ret
-        (const run_serve $ socket $ jobs_arg $ max_connections
-        $ cache_size_arg $ cache_file_arg))
+        (const run_serve $ socket_arg $ jobs_arg $ max_connections
+        $ cache_size_arg $ cache_file_arg $ metrics_file $ metrics_interval
+        $ slow_ms $ slow_log $ Tel_cli.term))
+
+(* --- stats: one-shot metrics client --------------------------------- *)
+
+let run_stats socket raw =
+  term_of_failure @@ fun () ->
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (match Unix.connect fd (Unix.ADDR_UNIX socket) with
+  | () -> ()
+  | exception Unix.Unix_error (e, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    failwith
+      (Printf.sprintf "cannot connect to %s: %s" socket (Unix.error_message e)));
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let reply =
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        output_string oc "{\"admin\":\"stats\"}\n";
+        flush oc;
+        match input_line ic with
+        | line -> line
+        | exception End_of_file ->
+          failwith "daemon closed the connection without a reply")
+  in
+  if raw then print_endline reply
+  else
+    match Qor.Json.parse_result reply with
+    | Error m -> failwith (Printf.sprintf "unparseable reply: %s" m)
+    | Ok j -> (
+      match Qor.Json.member "stats" j with
+      | Some stats -> print_endline (Qor.Json.to_string ~minify:false stats)
+      | None -> failwith (Printf.sprintf "daemon replied without stats: %s" reply))
+
+let stats_cmd =
+  let raw =
+    Arg.(
+      value & flag
+      & info [ "raw" ]
+          ~doc:
+            "Print the daemon's NDJSON reply line verbatim instead of the \
+             pretty-printed stats object.")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Ask a running softsched serve daemon for its metrics snapshot \
+          (latency histograms per request phase, cache hit/miss counters, \
+          pool and connection gauges) over its Unix socket. Exits nonzero \
+          if the daemon is unreachable or the reply is not a stats object.")
+    Term.(ret (const run_stats $ socket_arg $ raw))
 
 (* --- main ---------------------------------------------------------- *)
 
@@ -777,7 +936,7 @@ let () =
     Cmd.group info
       [ schedule_cmd; table_cmd; dot_cmd; verilog_cmd; sim_cmd;
         map_cmd; retime_cmd; vliw_cmd; selfcheck_cmd; report_cmd;
-        diff_cmd; batch_cmd; serve_cmd ]
+        diff_cmd; batch_cmd; serve_cmd; stats_cmd ]
   in
   let code =
     try Cmd.eval ~catch:false group with

@@ -13,7 +13,16 @@
    - trace ids are assigned by input position (b-000001, …) and
      responses are emitted in input position order.
 
-   Blank input lines are skipped without producing output. *)
+   Blank input lines are skipped without producing output.
+
+   When the service carries a metrics plane, every request is recorded
+   into it with the batch flavour of the span phases: parse and
+   prepare are timed in pass 1, queue wait is submit -> job start for
+   cold leaders, cache lookup / schedule come from Service.execute,
+   emit is pass-3 rendering, and total is the sum of phases (requests
+   overlap in a batch, so per-request wall clock would double-count the
+   pipeline). Timing observes only: response bytes are identical with
+   or without a metrics plane, for any --jobs. *)
 
 type stats = {
   requests : int;
@@ -33,56 +42,73 @@ type item =
 let run_lines service ~jobs lines =
   if jobs <= 0 then invalid_arg "Batch.run_lines: non-positive jobs";
   let t0 = Unix.gettimeofday () in
+  let metrics = Service.metrics service in
+  let now = Telemetry.now_ns in
   let lines =
     List.filter (fun l -> String.trim l <> "") lines
   in
-  (* Pass 1, sequential: parse + prepare + dedupe by cache key. *)
-  let pending = ref [] in  (* leader thunk descriptors, reversed *)
+  (* Pass 1, sequential: parse + prepare + dedupe by cache key. Each
+     line gets a span; this pass times parse and prepare. *)
+  let pending = ref [] in  (* leader (prepared, span) descriptors, reversed *)
   let by_key = Hashtbl.create 16 in  (* cache key -> item index *)
   let n_futures = ref 0 in
-  let items =
+  let tagged =
     List.mapi
       (fun i line ->
-        match Protocol.request_of_line line with
-        | Error msg -> Bad { id = None; msg }
-        | Ok req -> (
-          match Service.prepare service req with
-          | Error msg -> Bad { id = req.Protocol.id; msg }
-          | Ok prepared -> (
-            let key = Service.key_of prepared in
-            match Hashtbl.find_opt by_key key with
-            | Some leader -> Follower { prepared; leader }
-            | None ->
-              Hashtbl.add by_key key i;
-              let fi = !n_futures in
-              incr n_futures;
-              pending := prepared :: !pending;
-              Leader { prepared; future = fi })))
+        let sp = Metrics.span () in
+        let tp = now () in
+        let item =
+          match Protocol.request_of_line line with
+          | Error msg ->
+            sp.Metrics.parse_ns <- now () - tp;
+            Bad { id = None; msg }
+          | Ok req -> (
+            sp.Metrics.parse_ns <- now () - tp;
+            let tl = now () in
+            match Service.prepare service req with
+            | Error msg ->
+              sp.Metrics.lookup_ns <- now () - tl;
+              Bad { id = req.Protocol.id; msg }
+            | Ok prepared -> (
+              sp.Metrics.lookup_ns <- now () - tl;
+              let key = Service.key_of prepared in
+              match Hashtbl.find_opt by_key key with
+              | Some leader -> Follower { prepared; leader }
+              | None ->
+                Hashtbl.add by_key key i;
+                let fi = !n_futures in
+                incr n_futures;
+                pending := (prepared, sp) :: !pending;
+                Leader { prepared; future = fi }))
+        in
+        (item, sp))
       lines
   in
-  let items = Array.of_list items in
+  let items = Array.of_list (List.map fst tagged) in
+  let spans = Array.of_list (List.map snd tagged) in
   (* Pass 2: leaders whose result is already cached are answered inline
      (a hash lookup does not justify a worker-pool handoff — this is
      most of the warm path's throughput); the rest fan out to the pool.
      Deadlines are measured from submission, which is as close to
      "enqueue" as the protocol gets. *)
-  let run_one prepared =
+  let run_one ~span prepared =
     let deadline =
       Option.map
         (fun ms -> Unix.gettimeofday () +. (ms /. 1000.))
         (Service.request_of prepared).Protocol.deadline_ms
     in
-    Service.execute ?deadline service prepared
+    Service.execute ?deadline ~span service prepared
   in
   let futures =
     let leaders = Array.of_list (List.rev !pending) in
     let outcomes = Array.make (Array.length leaders) None in
     let cold = ref [] in
     Array.iteri
-      (fun i prepared ->
+      (fun i (prepared, sp) ->
         if Service.cached service prepared then
-          outcomes.(i) <- Some (try Ok (run_one prepared) with e -> Error e)
-        else cold := (i, prepared) :: !cold)
+          outcomes.(i) <-
+            Some (try Ok (run_one ~span:sp prepared) with e -> Error e)
+        else cold := (i, prepared, sp) :: !cold)
       leaders;
     (match !cold with
     | [] -> ()
@@ -90,15 +116,21 @@ let run_lines service ~jobs lines =
       let pool = Pool.create ~jobs () in
       let futs =
         List.rev_map
-          (fun (i, prepared) ->
-            (i, Pool.submit pool (fun () -> run_one prepared)))
+          (fun (i, prepared, sp) ->
+            let enqueued = now () in
+            ( i,
+              Pool.submit pool (fun () ->
+                  sp.Metrics.queue_ns <- now () - enqueued;
+                  run_one ~span:sp prepared) ))
           cold
       in
       List.iter (fun (i, fut) -> outcomes.(i) <- Some (Pool.await fut)) futs;
       Pool.shutdown pool);
     Array.map (function Some r -> r | None -> assert false) outcomes
   in
-  (* Pass 3, sequential: render responses in input order. *)
+  (* Pass 3, sequential: render responses in input order, timing the
+     render into each span's emit phase, then hand the finished span to
+     the metrics plane (if any). *)
   let hits = ref 0 and degraded = ref 0 and errors = ref 0 in
   let outcome_of_item = function
     | Bad _ -> assert false
@@ -109,39 +141,72 @@ let run_lines service ~jobs lines =
     List.mapi
       (fun i item ->
         let trace = Printf.sprintf "b-%06d" (i + 1) in
-        match item with
-        | Bad { id; msg } ->
-          incr errors;
-          Protocol.error_line ?id ~trace msg
-        | Leader { prepared; future } -> (
-          let req = Service.request_of prepared in
-          match futures.(future) with
-          | Error e ->
+        let sp = spans.(i) in
+        let te = now () in
+        let line, is_ok, is_cached, is_degraded, design =
+          match item with
+          | Bad { id; msg } ->
             incr errors;
-            Protocol.error_line ?id:req.Protocol.id ~trace
-              (Printexc.to_string e)
-          | Ok (o, cached) ->
-            if cached then incr hits;
-            if (Service.result_of o).Protocol.degraded then incr degraded;
-            Service.line ?id:req.Protocol.id ~trace ~cached
-              ~want_schedule:req.Protocol.want_schedule o)
-        | Follower { prepared; leader } -> (
-          let req = Service.request_of prepared in
-          match outcome_of_item items.(leader) with
-          | Error e ->
-            incr errors;
-            Protocol.error_line ?id:req.Protocol.id ~trace
-              (Printexc.to_string e)
-          | Ok (o, _) ->
-            (* A sequential run's second identical request would hit the
-               cache — unless the result was degraded, which is never
-               cached. *)
-            let r = Service.result_of o in
-            let cached = not r.Protocol.degraded in
-            if cached then incr hits;
-            if r.Protocol.degraded then incr degraded;
-            Service.line ?id:req.Protocol.id ~trace ~cached
-              ~want_schedule:req.Protocol.want_schedule o))
+            (Protocol.error_line ?id ~trace msg, false, false, false, "?")
+          | Leader { prepared; future } -> (
+            let req = Service.request_of prepared in
+            let design = Protocol.spec_label req.Protocol.spec in
+            match futures.(future) with
+            | Error e ->
+              incr errors;
+              ( Protocol.error_line ?id:req.Protocol.id ~trace
+                  (Printexc.to_string e),
+                false,
+                false,
+                false,
+                design )
+            | Ok (o, cached) ->
+              if cached then incr hits;
+              let degr = (Service.result_of o).Protocol.degraded in
+              if degr then incr degraded;
+              ( Service.line ?id:req.Protocol.id ~trace ~cached
+                  ~want_schedule:req.Protocol.want_schedule o,
+                true,
+                cached,
+                degr,
+                design ))
+          | Follower { prepared; leader } -> (
+            let req = Service.request_of prepared in
+            let design = Protocol.spec_label req.Protocol.spec in
+            match outcome_of_item items.(leader) with
+            | Error e ->
+              incr errors;
+              ( Protocol.error_line ?id:req.Protocol.id ~trace
+                  (Printexc.to_string e),
+                false,
+                false,
+                false,
+                design )
+            | Ok (o, _) ->
+              (* A sequential run's second identical request would hit the
+                 cache — unless the result was degraded, which is never
+                 cached. *)
+              let r = Service.result_of o in
+              let cached = not r.Protocol.degraded in
+              if cached then incr hits;
+              if r.Protocol.degraded then incr degraded;
+              ( Service.line ?id:req.Protocol.id ~trace ~cached
+                  ~want_schedule:req.Protocol.want_schedule o,
+                true,
+                cached,
+                r.Protocol.degraded,
+                design ))
+        in
+        sp.Metrics.emit_ns <- sp.Metrics.emit_ns + (now () - te);
+        sp.Metrics.total_ns <-
+          sp.Metrics.parse_ns + sp.Metrics.lookup_ns + sp.Metrics.queue_ns
+          + sp.Metrics.schedule_ns + sp.Metrics.emit_ns;
+        (match metrics with
+        | Some m ->
+          Metrics.record m ~trace ~design ~ok:is_ok ~cached:is_cached
+            ~degraded:is_degraded sp
+        | None -> ());
+        line)
       (Array.to_list items)
   in
   let stats =

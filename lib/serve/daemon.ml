@@ -8,9 +8,12 @@
    Requests already submitted to the pool always complete — that is
    the pool's own guarantee. [wait] joins everything. *)
 
+open Import
+
 type t = {
   service : Service.t;
   pool : Pool.t;
+  metrics : Metrics.t;
   lsock : Unix.file_descr;
   socket_path : string;
   max_connections : int;
@@ -28,32 +31,82 @@ let with_lock m f =
 
 let stopping t = with_lock t.lock (fun () -> t.stopping)
 
-(* One request line -> one response line. *)
+(* One request line -> one response line.
+
+   Admin requests ({"admin":"stats"}) are answered inline from the
+   metrics plane and stay out of the request histograms. Scheduling
+   requests carry a span: this layer times parse, queue wait and emit;
+   [Service.execute] fills in cache lookup and schedule. Every
+   scheduling request (error paths included) is recorded exactly
+   once. *)
 let answer t line =
   let trace = Service.next_trace t.service ~prefix:"s" in
-  match Protocol.request_of_line line with
-  | Error msg -> Protocol.error_line ~trace msg
-  | Ok req -> (
-    match Service.prepare t.service req with
-    | Error msg -> Protocol.error_line ?id:req.Protocol.id ~trace msg
-    | Ok prepared -> (
-      let deadline =
-        Option.map
-          (fun ms -> Unix.gettimeofday () +. (ms /. 1000.))
-          req.Protocol.deadline_ms
-      in
-      match
-        Pool.try_submit t.pool (fun () ->
-            Service.execute ?deadline t.service prepared)
-      with
-      | None -> Protocol.error_line ?id:req.Protocol.id ~trace "shutting down"
-      | Some fut -> (
-        match Pool.await fut with
-        | Error e ->
-          Protocol.error_line ?id:req.Protocol.id ~trace (Printexc.to_string e)
-        | Ok (o, cached) ->
-          Service.line ?id:req.Protocol.id ~trace ~cached
-            ~want_schedule:req.Protocol.want_schedule o)))
+  let m = t.metrics in
+  let now = Telemetry.now_ns in
+  let sp = Metrics.span () in
+  let t0 = now () in
+  let record ~design ~ok ~cached ~degraded reply =
+    sp.Metrics.total_ns <- now () - t0;
+    Metrics.record m ~trace ~design ~ok ~cached ~degraded sp;
+    reply
+  in
+  let fail ?id ~design msg =
+    record ~design ~ok:false ~cached:false ~degraded:false
+      (Protocol.error_line ?id ~trace msg)
+  in
+  match Json.parse_result line with
+  | Error msg ->
+    sp.Metrics.parse_ns <- now () - t0;
+    fail ~design:"?" (Printf.sprintf "bad JSON: %s" msg)
+  | Ok j -> (
+    match Protocol.admin_of_json j with
+    | Error msg -> Protocol.error_line ~trace msg
+    | Ok (Some (Protocol.Stats, id)) ->
+      Service.sync_cache_gauge t.service;
+      Metrics.set_pool_queue_depth m (Pool.queue_length t.pool);
+      Protocol.stats_line ?id ~trace
+        (Metrics.snapshot_json ~cache:(Service.cache_stats t.service) m)
+    | Ok None -> (
+      match Protocol.request_of_json j with
+      | Error msg ->
+        sp.Metrics.parse_ns <- now () - t0;
+        fail ~design:"?" msg
+      | Ok req -> (
+        sp.Metrics.parse_ns <- now () - t0;
+        let id = req.Protocol.id in
+        let design = Protocol.spec_label req.Protocol.spec in
+        let t1 = now () in
+        match Service.prepare t.service req with
+        | Error msg ->
+          sp.Metrics.lookup_ns <- now () - t1;
+          fail ?id ~design msg
+        | Ok prepared -> (
+          sp.Metrics.lookup_ns <- now () - t1;
+          let deadline =
+            Option.map
+              (fun ms -> Unix.gettimeofday () +. (ms /. 1000.))
+              req.Protocol.deadline_ms
+          in
+          let enqueued = now () in
+          match
+            Pool.try_submit t.pool (fun () ->
+                sp.Metrics.queue_ns <- now () - enqueued;
+                Service.execute ?deadline ~span:sp t.service prepared)
+          with
+          | None -> fail ?id ~design "shutting down"
+          | Some fut -> (
+            Metrics.set_pool_queue_depth m (Pool.queue_length t.pool);
+            match Pool.await fut with
+            | Error e -> fail ?id ~design (Printexc.to_string e)
+            | Ok (o, cached) ->
+              let t2 = now () in
+              let reply =
+                Service.line ?id ~trace ~cached
+                  ~want_schedule:req.Protocol.want_schedule o
+              in
+              sp.Metrics.emit_ns <- now () - t2;
+              let degraded = (Service.result_of o).Protocol.degraded in
+              record ~design ~ok:true ~cached ~degraded reply)))))
 
 let serve_connection t (cid, fd) =
   let ic = Unix.in_channel_of_descr fd in
@@ -65,7 +118,12 @@ let serve_connection t (cid, fd) =
       | exception Sys_error _ -> ()
       | "" -> loop ()
       | line -> (
-        let reply = answer t line in
+        let reply =
+          Metrics.add_in_flight t.metrics 1;
+          Fun.protect
+            ~finally:(fun () -> Metrics.add_in_flight t.metrics (-1))
+            (fun () -> answer t line)
+        in
         match
           output_string oc reply;
           output_char oc '\n';
@@ -76,7 +134,8 @@ let serve_connection t (cid, fd) =
   in
   (try loop () with _ -> ());
   with_lock t.lock (fun () ->
-      t.conns <- List.filter (fun (i, _) -> i <> cid) t.conns);
+      t.conns <- List.filter (fun (i, _) -> i <> cid) t.conns;
+      Metrics.set_connections t.metrics (List.length t.conns));
   try Unix.close fd with Unix.Unix_error _ -> ()
 
 let accept_loop t =
@@ -104,6 +163,7 @@ let accept_loop t =
                 let cid = t.next_conn in
                 t.next_conn <- cid + 1;
                 t.conns <- (cid, fd) :: t.conns;
+                Metrics.set_connections t.metrics (List.length t.conns);
                 Some cid
               end)
         in
@@ -111,10 +171,23 @@ let accept_loop t =
         | None ->
           let oc = Unix.out_channel_of_descr fd in
           let trace = Service.next_trace t.service ~prefix:"s" in
+          let busy = not (stopping t) in
+          (* A turn-away carries a back-off hint scaled by the queue the
+             client would have joined, so it doesn't hot-loop on
+             reconnect. *)
+          let retry_after_ms =
+            if busy then begin
+              Metrics.turned_away t.metrics;
+              Some
+                (Metrics.retry_after_ms t.metrics
+                   ~queue_depth:(Pool.queue_length t.pool))
+            end
+            else None
+          in
           (try
              output_string oc
-               (Protocol.error_line ~trace
-                  (if stopping t then "shutting down" else "server busy"));
+               (Protocol.error_line ?retry_after_ms ~trace
+                  (if busy then "server busy" else "shutting down"));
              output_char oc '\n';
              flush oc
            with Sys_error _ -> ());
@@ -127,16 +200,27 @@ let accept_loop t =
   in
   loop ()
 
-let start service ~socket ~jobs ?(max_connections = 32) () =
+let start service ~socket ~jobs ?(max_connections = 32) ?metrics () =
   if max_connections <= 0 then
     invalid_arg "Daemon.start: non-positive max_connections";
   (if Sys.file_exists socket then
      try Unix.unlink socket with Unix.Unix_error _ -> ());
+  let metrics =
+    match metrics with
+    | Some m -> m
+    | None -> (
+      (* share the service's plane so the cache gauge and the request
+         histograms land in one snapshot *)
+      match Service.metrics service with
+      | Some m -> m
+      | None -> Metrics.create ())
+  in
   let lsock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   let t =
     {
       service;
       pool = Pool.create ~jobs ();
+      metrics;
       lsock;
       socket_path = socket;
       max_connections;
@@ -184,3 +268,4 @@ let wait t =
     try Unix.unlink t.socket_path with Unix.Unix_error _ | Sys_error _ -> ()
 
 let socket_path t = t.socket_path
+let metrics t = t.metrics

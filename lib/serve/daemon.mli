@@ -15,9 +15,17 @@
 type t
 
 val start :
-  Service.t -> socket:string -> jobs:int -> ?max_connections:int -> unit -> t
+  Service.t ->
+  socket:string ->
+  jobs:int ->
+  ?max_connections:int ->
+  ?metrics:Metrics.t ->
+  unit ->
+  t
 (** Binds (replacing any stale socket file), listens, and spawns the
-    accept thread. [max_connections] defaults to 32.
+    accept thread. [max_connections] defaults to 32. [metrics] defaults
+    to the service's plane (so the cache gauge and request histograms
+    share one snapshot), or a fresh one if the service has none.
     @raise Unix.Unix_error if the socket cannot be bound. *)
 
 val stop : t -> unit
@@ -29,3 +37,7 @@ val wait : t -> unit
     have been answered. *)
 
 val socket_path : t -> string
+
+val metrics : t -> Metrics.t
+(** The daemon's metrics plane — the source of the [stats] admin reply
+    and the CLI's periodic [--metrics-file] dumps. *)

@@ -129,6 +129,11 @@ let submit pool f =
   | Some fut -> fut
   | None -> invalid_arg "Pool.submit: pool is draining"
 
+(* Observability sample for the metrics plane's queue-depth gauge; the
+   value is stale the moment the lock drops, which is fine for a
+   gauge. *)
+let queue_length pool = with_lock pool.lock (fun () -> Queue.length pool.queue)
+
 let await fut =
   with_lock fut.flock (fun () ->
       let rec wait () =

@@ -26,6 +26,10 @@ val await : 'a future -> ('a, exn) result
     [Error Invalid_argument]). Exceptions raised by the job are
     captured, not re-raised. *)
 
+val queue_length : t -> int
+(** Jobs currently waiting (not yet claimed by a worker) — the metrics
+    plane's queue-depth gauge. Advisory: stale as soon as it returns. *)
+
 val cancel : 'a future -> bool
 (** [true] iff the job was still queued and is now cancelled; a job
     that started (or finished, or was already cancelled) is left

@@ -111,6 +111,25 @@ let request_of_line line =
   | Error m -> Error (Printf.sprintf "bad JSON: %s" m)
   | Ok j -> request_of_json j
 
+(* -- admin requests --------------------------------------------------- *)
+
+(* Out-of-band service introspection on the same NDJSON channel: an
+   object carrying an "admin" field instead of a design spec. [Stats]
+   answers with the metrics plane's JSON snapshot. *)
+
+type admin = Stats
+
+let admin_of_json j =
+  match Json.member "admin" j with
+  | None -> Ok None
+  | Some (Json.Str "stats") -> (
+    match opt_str j "id" with
+    | Ok id -> Ok (Some (Stats, id))
+    | Error m -> Error m)
+  | Some (Json.Str other) ->
+    Error (Printf.sprintf "unknown admin request %S (expected \"stats\")" other)
+  | Some _ -> Error "field \"admin\" must be a string"
+
 let request_to_json r =
   let base =
     match r.spec with
@@ -277,12 +296,30 @@ let ok_line_with_core ?id ~trace ~cached core =
 let ok_line ?id ~trace ~cached ~want_schedule (r : result) =
   ok_line_with_core ?id ~trace ~cached (core_fields ~want_schedule r)
 
-let error_line ?id ~trace msg =
+(* [retry_after_ms] rides on turn-away errors ("server busy") so
+   clients can back off instead of hot-looping on reconnect. *)
+let error_line ?id ?retry_after_ms ~trace msg =
+  Json.to_string ~minify:true
+    (Json.Obj
+       ([
+          ("id", match id with Some i -> Json.str i | None -> Json.Null);
+          ("trace", Json.str trace);
+          ("status", Json.str "error");
+          ("error", Json.str msg);
+        ]
+       @
+       match retry_after_ms with
+       | Some v -> [ ("retry_after_ms", Json.int v) ]
+       | None -> []))
+
+(* The stats admin reply: the usual response prefix with the metrics
+   snapshot spliced in as one "stats" object. *)
+let stats_line ?id ~trace stats =
   Json.to_string ~minify:true
     (Json.Obj
        [
          ("id", match id with Some i -> Json.str i | None -> Json.Null);
          ("trace", Json.str trace);
-         ("status", Json.str "error");
-         ("error", Json.str msg);
+         ("status", Json.str "ok");
+         ("stats", stats);
        ])

@@ -51,6 +51,15 @@ val request_of_line : string -> (request, string) Result.t
 val request_of_json : Json.t -> (request, string) Result.t
 val request_to_json : request -> Json.t
 
+(** Out-of-band service introspection on the same NDJSON channel:
+    [{"admin":"stats"}] asks the daemon for its metrics snapshot. *)
+type admin = Stats
+
+val admin_of_json : Json.t -> ((admin * string option) option, string) Result.t
+(** [Ok None] when the object carries no ["admin"] field (a scheduling
+    request); [Ok (Some (admin, id))] for a recognised admin request;
+    [Error] for an unknown admin verb. *)
+
 val result_to_json : result -> Json.t
 val result_of_json : Json.t -> (result, string) Result.t
 
@@ -72,4 +81,11 @@ val ok_line_with_core :
 (** Splice a {!core_fields} rendering under a per-request prefix;
     [ok_line] ≡ [ok_line_with_core … (core_fields …)], byte for byte. *)
 
-val error_line : ?id:string -> trace:string -> string -> string
+val error_line :
+  ?id:string -> ?retry_after_ms:int -> trace:string -> string -> string
+(** [retry_after_ms] adds a back-off hint field — the daemon sets it on
+    "server busy" turn-aways so clients don't hot-loop on reconnect. *)
+
+val stats_line : ?id:string -> trace:string -> Json.t -> string
+(** The [stats] admin reply: response prefix plus the snapshot as one
+    ["stats"] object. *)

@@ -49,6 +49,7 @@ type t = {
   name_memo : (string, string) Hashtbl.t;  (* "name|res|meta" -> cache key *)
   trace_lock : Mutex.t;
   mutable traces : int;
+  metrics : Metrics.t option;
 }
 
 type prepared = {
@@ -57,16 +58,29 @@ type prepared = {
   graph : Graph.t option;  (* None: name-memo hit, cache has the key *)
 }
 
-let create ?(cache_capacity = 256) () =
+let create ?(cache_capacity = 256) ?metrics () =
+  (match metrics with
+  | Some m -> Metrics.set_cache_occupancy m ~entries:0 ~capacity:cache_capacity
+  | None -> ());
   {
     cache = Cache.create ~capacity:cache_capacity;
     memo_lock = Mutex.create ();
     name_memo = Hashtbl.create 64;
     trace_lock = Mutex.create ();
     traces = 0;
+    metrics;
   }
 
 let cache_stats t = Cache.stats t.cache
+let metrics t = t.metrics
+
+let sync_cache_gauge t =
+  match t.metrics with
+  | None -> ()
+  | Some m ->
+    let s = Cache.stats t.cache in
+    Metrics.set_cache_occupancy m ~entries:s.Cache.length
+      ~capacity:s.Cache.capacity
 
 let with_lock m f =
   Mutex.lock m;
@@ -195,10 +209,27 @@ let result_of_state ~key ~design ~resources ~meta ~degraded st =
 
 (* -- the cache-or-compute pivot --------------------------------------- *)
 
-let execute ?deadline t p =
+let execute ?deadline ?span t p =
+  let now = Telemetry.now_ns in
+  let add_span f =
+    match span with
+    | None -> fun _ -> ()
+    | Some sp -> fun ns -> f sp ns
+  in
+  let add_lookup =
+    add_span (fun (sp : Metrics.span) ns -> sp.lookup_ns <- sp.lookup_ns + ns)
+  in
+  let add_schedule =
+    add_span (fun (sp : Metrics.span) ns -> sp.schedule_ns <- sp.schedule_ns + ns)
+  in
+  let t0 = now () in
   match Cache.find t.cache p.key with
-  | Some o -> (o, true)
+  | Some o ->
+    add_lookup (now () - t0);
+    (o, true)
   | None ->
+    add_lookup (now () - t0);
+    let t1 = now () in
     let g =
       match p.graph with
       | Some g -> g
@@ -219,6 +250,8 @@ let execute ?deadline t p =
            ~resources ~meta ~degraded st)
     in
     if not degraded then Cache.add t.cache p.key o;
+    add_schedule (now () - t1);
+    sync_cache_gauge t;
     (o, false)
 
 (* -- cache persistence ------------------------------------------------ *)

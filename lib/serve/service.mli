@@ -15,10 +15,20 @@ open Import
 
 type t
 
-val create : ?cache_capacity:int -> unit -> t
-(** [cache_capacity] defaults to 256 results. *)
+val create : ?cache_capacity:int -> ?metrics:Metrics.t -> unit -> t
+(** [cache_capacity] defaults to 256 results. [metrics] plugs the
+    service into a metrics plane: cache-occupancy gauge updates plus
+    lookup/schedule span attribution in {!execute}. Omitting it makes
+    every telemetry hook a no-op — results are bit-identical either
+    way. *)
 
 val cache_stats : t -> Cache.stats
+
+val metrics : t -> Metrics.t option
+
+val sync_cache_gauge : t -> unit
+(** Refresh the metrics plane's cache-occupancy gauge from
+    {!cache_stats}; no-op without a metrics plane. *)
 
 val next_trace : t -> prefix:string -> string
 (** Monotone per-service trace ids, e.g. [s-000042]. *)
@@ -52,13 +62,16 @@ val line :
 (** Render the ok response line; byte-identical to {!Protocol.ok_line}
     on [result_of], but reuses the memoized core. *)
 
-val execute : ?deadline:float -> t -> prepared -> outcome * bool
+val execute :
+  ?deadline:float -> ?span:Metrics.span -> t -> prepared -> outcome * bool
 (** Returns [(outcome, cached)]. [deadline] is an absolute
     [Unix.gettimeofday] instant: once it passes, the remaining
     operations are fast-placed (first feasible position — still a valid
     threaded schedule, marked [degraded]) instead of diameter-optimised.
-    May raise (scheduler errors, evicted-and-unbuildable specs); callers
-    run it under {!Pool} which captures exceptions. *)
+    [span] (if given) accumulates the cache-lookup and schedule phase
+    durations; timing never changes the result. May raise (scheduler
+    errors, evicted-and-unbuildable specs); callers run it under
+    {!Pool} which captures exceptions. *)
 
 val schedule_graph :
   ?deadline:float ->

@@ -31,5 +31,7 @@ include module type of struct
 end
 
 module Counters = Counters
+module Histogram = Histogram
+module Gauge = Gauge
 module Chrome_trace = Chrome_trace
 module Text_trace = Text_trace

@@ -16,6 +16,8 @@ module Protocol = Serve.Protocol
 module Service = Serve.Service
 module Batch = Serve.Batch
 module Daemon = Serve.Daemon
+module Metrics = Serve.Metrics
+module Json = Qor.Json
 
 let check = Alcotest.check
 
@@ -518,6 +520,221 @@ let test_daemon_connection_limit () =
   (try Unix.close fd2 with Unix.Unix_error _ -> ());
   ignore (ic1, oc1)
 
+(* --- metrics plane ---------------------------------------------------- *)
+
+(* Pull a nested member out of a parsed snapshot, failing loudly. *)
+let json_path j path =
+  List.fold_left
+    (fun j key ->
+      match Json.member key j with
+      | Some v -> v
+      | None -> Alcotest.failf "snapshot missing %S" key)
+    j path
+
+let json_int j path =
+  match json_path j path with
+  | Json.Num n -> int_of_float n
+  | _ -> Alcotest.failf "snapshot member %s not a number" (String.concat "." path)
+
+let test_metrics_snapshot_and_prometheus () =
+  let m = Metrics.create () in
+  let record ?(ok = true) ?(cached = false) total_ns =
+    let sp = Metrics.span () in
+    sp.Metrics.parse_ns <- 1_000;
+    sp.Metrics.lookup_ns <- 2_000;
+    sp.Metrics.schedule_ns <- (if cached then 0 else total_ns / 2);
+    sp.Metrics.emit_ns <- 500;
+    sp.Metrics.total_ns <- total_ns;
+    Metrics.record m ~trace:"t" ~design:"HAL" ~ok ~cached ~degraded:false sp
+  in
+  record 1_000_000;
+  record ~cached:true 10_000;
+  record ~ok:false 5_000;
+  Metrics.turned_away m;
+  Metrics.set_pool_queue_depth m 3;
+  Metrics.set_cache_occupancy m ~entries:2 ~capacity:8;
+  let j =
+    match
+      Json.parse_result (Json.to_string ~minify:true (Metrics.snapshot_json m))
+    with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "snapshot not JSON: %s" e
+  in
+  check Alcotest.int "requests" 3 (json_int j [ "requests"; "total" ]);
+  check Alcotest.int "ok" 2 (json_int j [ "requests"; "ok" ]);
+  check Alcotest.int "errors" 1 (json_int j [ "requests"; "errors" ]);
+  check Alcotest.int "cached" 1 (json_int j [ "requests"; "cached" ]);
+  check Alcotest.int "turnaways" 1 (json_int j [ "requests"; "busy_turnaways" ]);
+  check Alcotest.int "queue depth gauge" 3
+    (json_int j [ "gauges"; "pool_queue_depth" ]);
+  check Alcotest.int "cache entries gauge" 2
+    (json_int j [ "gauges"; "cache_entries" ]);
+  List.iter
+    (fun phase ->
+      check Alcotest.int
+        (phase ^ " histogram counts every request")
+        3
+        (json_int j [ "latency_ms"; phase; "count" ]))
+    [ "parse"; "cache_lookup"; "queue_wait"; "schedule"; "emit"; "total" ];
+  (* Prometheus exposition: histogram family present, +Inf closes each
+     phase at the total count. *)
+  let prom = Metrics.to_prometheus m in
+  check Alcotest.bool "bucket series present" true
+    (contains prom "softsched_request_phase_seconds_bucket{phase=\"total\"");
+  check Alcotest.bool "+Inf equals count" true
+    (contains prom
+       "softsched_request_phase_seconds_bucket{phase=\"total\",le=\"+Inf\"} 3");
+  check Alcotest.bool "counter series present" true
+    (contains prom "softsched_requests_total 3")
+
+let test_metrics_retry_after () =
+  let m = Metrics.create () in
+  check Alcotest.int "no history: flat default" 50
+    (Metrics.retry_after_ms m ~queue_depth:4);
+  let sp = Metrics.span () in
+  sp.Metrics.total_ns <- 2_000_000 (* 2ms *);
+  Metrics.record m ~trace:"t" ~design:"HAL" ~ok:true ~cached:false
+    ~degraded:false sp;
+  let hint = Metrics.retry_after_ms m ~queue_depth:9 in
+  check Alcotest.bool
+    (Printf.sprintf "scaled by queue depth (got %d)" hint)
+    true
+    (hint >= 20 && hint <= 25);
+  check Alcotest.int "clamped above" 5000
+    (Metrics.retry_after_ms m ~queue_depth:1_000_000)
+
+let test_metrics_slow_log_file () =
+  let path = Filename.temp_file "softsched" ".slow.ndjson" in
+  let m = Metrics.create () in
+  Metrics.set_slow_log m ~threshold_ms:1.0 (`File path);
+  let fast = Metrics.span () in
+  fast.Metrics.total_ns <- 500_000 (* 0.5ms: below threshold *);
+  Metrics.record m ~trace:"s-000001" ~design:"HAL" ~ok:true ~cached:true
+    ~degraded:false fast;
+  let slow = Metrics.span () in
+  slow.Metrics.total_ns <- 5_000_000 (* 5ms *);
+  slow.Metrics.schedule_ns <- 4_000_000;
+  Metrics.record m ~trace:"s-000002" ~design:"AR" ~ok:true ~cached:false
+    ~degraded:false slow;
+  Metrics.close_slow_log m;
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  Sys.remove path;
+  match !lines with
+  | [ line ] -> (
+    match Json.parse_result line with
+    | Error e -> Alcotest.failf "slow line not JSON: %s" e
+    | Ok j ->
+      (match json_path j [ "trace" ] with
+      | Json.Str s -> check Alcotest.string "slow request's trace" "s-000002" s
+      | _ -> Alcotest.fail "trace not a string");
+      check Alcotest.bool "has total_ms" true
+        (Json.member "total_ms" j <> None);
+      check Alcotest.bool "has schedule_ms" true
+        (Json.member "schedule_ms" j <> None))
+  | ls -> Alcotest.failf "expected exactly one slow line, got %d" (List.length ls)
+
+let test_daemon_stats_admin () =
+  let socket = Filename.temp_file "softsched" ".sock" in
+  let metrics = Metrics.create () in
+  let service = Service.create ~metrics () in
+  let d = Daemon.start service ~socket ~jobs:2 () in
+  let fd, ic, oc = connect socket in
+  send oc {|{"design":"HAL","schedule":false}|};
+  ignore (input_line ic);
+  send oc {|{"design":"HAL","schedule":false}|};
+  ignore (input_line ic);
+  send oc {|{"admin":"stats","id":"q1"}|};
+  let reply = input_line ic in
+  Daemon.stop d;
+  Daemon.wait d;
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  check Alcotest.bool "stats reply echoes id" true (contains reply {|"id":"q1"|});
+  match Json.parse_result reply with
+  | Error e -> Alcotest.failf "stats reply not JSON: %s" e
+  | Ok j ->
+    let stats = json_path j [ "stats" ] in
+    check Alcotest.int "both scheduling requests recorded" 2
+      (json_int stats [ "requests"; "total" ]);
+    check Alcotest.int "one served from cache" 1
+      (json_int stats [ "requests"; "cached" ]);
+    (* Admin requests stay out of the histograms. *)
+    check Alcotest.int "latency counts scheduling requests only" 2
+      (json_int stats [ "latency_ms"; "total"; "count" ]);
+    check Alcotest.int "cache hit counter rides along" 1
+      (json_int stats [ "cache"; "hits" ]);
+    check Alcotest.bool "queue-depth gauge present" true
+      (Json.member "pool_queue_depth"
+         (json_path stats [ "gauges" ])
+      <> None)
+
+let test_daemon_busy_retry_hint () =
+  let socket = Filename.temp_file "softsched" ".sock" in
+  let service = Service.create ~metrics:(Metrics.create ()) () in
+  let d = Daemon.start service ~socket ~jobs:1 ~max_connections:1 () in
+  let fd1, ic1, oc1 = connect socket in
+  send oc1 {|{"design":"HAL","schedule":false}|};
+  ignore (input_line ic1);
+  let fd2, ic2, _ = connect socket in
+  let reply = input_line ic2 in
+  Daemon.stop d;
+  Daemon.wait d;
+  (try Unix.close fd1 with Unix.Unix_error _ -> ());
+  (try Unix.close fd2 with Unix.Unix_error _ -> ());
+  ignore oc1;
+  check Alcotest.bool "turn-away names the condition" true
+    (contains reply "server busy");
+  check Alcotest.bool "turn-away carries retry_after_ms" true
+    (contains reply {|"retry_after_ms":|});
+  match Json.parse_result reply with
+  | Error e -> Alcotest.failf "turn-away not JSON: %s" e
+  | Ok j ->
+    let hint = json_int j [ "retry_after_ms" ] in
+    check Alcotest.bool
+      (Printf.sprintf "hint within clamp (got %d)" hint)
+      true
+      (hint >= 25 && hint <= 5000)
+
+let test_batch_identical_with_metrics () =
+  let lines =
+    [
+      {|{"id":"a","design":"HAL"}|};
+      {|{"id":"b","design":"FIR","meta":"dfs"}|};
+      {|{"id":"c","design":"HAL"}|};
+      {|{"id":"bad"}|};
+      {|{"id":"d","design":"AR","schedule":false}|};
+    ]
+  in
+  let plain, _ = Batch.run_lines (Service.create ()) ~jobs:1 lines in
+  List.iter
+    (fun jobs ->
+      let metrics = Metrics.create () in
+      let service = Service.create ~metrics () in
+      let out, _ = Batch.run_lines service ~jobs lines in
+      check
+        Alcotest.(list string)
+        (Printf.sprintf "metrics-on output identical (jobs=%d)" jobs)
+        plain out;
+      (* ...and the plane saw every request, error included. *)
+      let j =
+        match
+          Json.parse_result
+            (Json.to_string ~minify:true (Metrics.snapshot_json metrics))
+        with
+        | Ok j -> j
+        | Error e -> Alcotest.failf "snapshot not JSON: %s" e
+      in
+      check Alcotest.int "all requests recorded" (List.length lines)
+        (json_int j [ "requests"; "total" ]);
+      check Alcotest.int "the bad line recorded as error" 1
+        (json_int j [ "requests"; "errors" ]))
+    [ 1; 4 ]
+
 (* --- registry plumbing (Resources.of_string / Meta.of_name) ---------- *)
 
 let test_resources_of_string () =
@@ -604,6 +821,8 @@ let () =
           Alcotest.test_case "deterministic across jobs" `Quick
             test_batch_deterministic_across_jobs;
           Alcotest.test_case "warm hit rate" `Quick test_batch_warm_hit_rate;
+          Alcotest.test_case "byte-identical with metrics" `Quick
+            test_batch_identical_with_metrics;
         ] );
       ( "daemon",
         [
@@ -611,6 +830,18 @@ let () =
             test_daemon_roundtrip_and_drain;
           Alcotest.test_case "connection limit" `Quick
             test_daemon_connection_limit;
+          Alcotest.test_case "stats admin request" `Quick
+            test_daemon_stats_admin;
+          Alcotest.test_case "busy turn-away retry hint" `Quick
+            test_daemon_busy_retry_hint;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "snapshot and prometheus" `Quick
+            test_metrics_snapshot_and_prometheus;
+          Alcotest.test_case "retry-after hint" `Quick test_metrics_retry_after;
+          Alcotest.test_case "slow-request log" `Quick
+            test_metrics_slow_log_file;
         ] );
       ( "plumbing",
         [

@@ -356,6 +356,139 @@ let test_text_trace () =
          | None -> false)
        lines)
 
+(* --- histograms and gauges ------------------------------------------ *)
+
+module H = Tel.Histogram
+
+let record_all h vs = List.iter (H.record h) vs
+
+(* Small-but-wide value generator: mixes tiny values (exact buckets)
+   with large ones (log buckets), which is exactly the latency shape
+   the service records (ns). *)
+let values_gen =
+  QCheck.Gen.(
+    list_size (int_range 0 200)
+      (oneof
+         [
+           int_range 0 20;
+           int_range 0 10_000;
+           map (fun k -> 1 lsl k) (int_range 0 40);
+           int_range 0 max_int;
+         ]))
+
+let values_arb = QCheck.make ~print:QCheck.Print.(list int) values_gen
+
+let test_histogram_basics () =
+  let h = H.create () in
+  Alcotest.(check bool) "fresh is empty" true (H.is_empty h);
+  record_all h [ 0; 1; 8; 17; 1000; 1000 ];
+  Alcotest.(check int) "count" 6 (H.count h);
+  Alcotest.(check int) "sum" 2026 (H.sum h);
+  Alcotest.(check int) "min" 0 (H.min_value h);
+  Alcotest.(check int) "max" 1000 (H.max_value h);
+  Alcotest.(check (float 1e-9)) "mean" (2026.0 /. 6.0) (H.mean h);
+  (* p0/p100 are exact by the clamp; mid percentiles stay within the
+     12.5% relative bucket error. *)
+  Alcotest.(check int) "p0 = min" 0 (H.percentile h 0.0);
+  Alcotest.(check int) "p100 = max" 1000 (H.percentile h 100.0);
+  let p50 = H.percentile h 50.0 in
+  Alcotest.(check bool) "p50 near a recorded value" true (p50 >= 8 && p50 <= 20)
+
+let test_histogram_bucket_error () =
+  (* Every reported bucket upper bound is within 12.5% above the
+     recorded value (sub_bits = 3). *)
+  List.iter
+    (fun v ->
+      let h = H.create () in
+      H.record h v;
+      let p = H.percentile h 50.0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "p50 of singleton %d within bucket error (got %d)" v p)
+        true
+        (p >= v && float_of_int p <= (1.0 +. 0.125) *. float_of_int v +. 1.0))
+    [ 1; 7; 8; 9; 100; 1023; 1024; 1025; 999_983; 1 lsl 40; (1 lsl 55) + 3 ]
+
+let prop_merge_is_interleaved =
+  QCheck.Test.make ~count:200 ~name:"merge of split == interleaved recording"
+    QCheck.(pair values_arb values_arb)
+    (fun (xs, ys) ->
+      let ha = H.create () and hb = H.create () and hall = H.create () in
+      record_all ha xs;
+      record_all hb ys;
+      record_all hall (xs @ ys);
+      H.equal (H.merge ha hb) hall)
+
+let prop_percentiles_monotone =
+  QCheck.Test.make ~count:200 ~name:"percentiles monotone in p" values_arb
+    (fun vs ->
+      QCheck.assume (vs <> []);
+      let h = H.create () in
+      record_all h vs;
+      let ps = [ 0.0; 10.0; 25.0; 50.0; 75.0; 90.0; 95.0; 99.0; 100.0 ] in
+      let rec mono = function
+        | a :: (b :: _ as rest) -> a <= b && mono rest
+        | _ -> true
+      in
+      mono (List.map (H.percentile h) ps))
+
+let test_histogram_concurrent_merge () =
+  (* Per-thread recording then merge must agree with one histogram fed
+     the same values sequentially — the daemon's per-thread pattern. *)
+  let n_threads = 4 and per_thread = 5_000 in
+  let value i j = (i * 31 + j * 7919) land 0xFFFFF in
+  let parts = Array.init n_threads (fun _ -> H.create ()) in
+  let threads =
+    List.init n_threads (fun i ->
+        Thread.create
+          (fun () ->
+            for j = 0 to per_thread - 1 do
+              H.record parts.(i) (value i j)
+            done)
+          ())
+  in
+  List.iter Thread.join threads;
+  let merged =
+    Array.fold_left (fun acc h -> H.merge acc h) (H.create ()) parts
+  in
+  let seq = H.create () in
+  for i = 0 to n_threads - 1 do
+    for j = 0 to per_thread - 1 do
+      H.record seq (value i j)
+    done
+  done;
+  Alcotest.(check bool) "merged == sequential" true (H.equal merged seq);
+  Alcotest.(check int) "count" (n_threads * per_thread) (H.count merged)
+
+let test_histogram_json () =
+  let h = H.create () in
+  record_all h [ 5; 50; 500 ];
+  let s = H.to_json h in
+  match Qor.Json.parse_result s with
+  | Error m -> Alcotest.failf "to_json unparseable: %s" m
+  | Ok j ->
+    (match Qor.Json.member "count" j with
+    | Some (Qor.Json.Num n) -> Alcotest.(check int) "count" 3 (int_of_float n)
+    | _ -> Alcotest.fail "no count");
+    List.iter
+      (fun k ->
+        if Qor.Json.member k j = None then Alcotest.failf "missing %S" k)
+      [ "sum"; "min"; "max"; "mean"; "p50"; "p90"; "p95"; "p99" ]
+
+let test_gauge () =
+  let g = Tel.Gauge.create () in
+  Alcotest.(check (float 0.0)) "initial" 0.0 (Tel.Gauge.get g);
+  Tel.Gauge.set g 2.5;
+  Alcotest.(check (float 0.0)) "set" 2.5 (Tel.Gauge.get g);
+  Tel.Gauge.add g 1.0;
+  Tel.Gauge.add g (-3.0);
+  Alcotest.(check (float 1e-9)) "add" 0.5 (Tel.Gauge.get g);
+  Tel.Gauge.set_int g 7;
+  Alcotest.(check (float 0.0)) "set_int" 7.0 (Tel.Gauge.get g)
+
+let metrics_qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_merge_is_interleaved; prop_percentiles_monotone ]
+
 let () =
   Alcotest.run "telemetry"
     [
@@ -390,4 +523,15 @@ let () =
           Alcotest.test_case "counters json + dump" `Quick test_counters_json;
           Alcotest.test_case "text trace" `Quick test_text_trace;
         ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "basics" `Quick test_histogram_basics;
+          Alcotest.test_case "bucket error bound" `Quick
+            test_histogram_bucket_error;
+          Alcotest.test_case "concurrent per-thread merge" `Quick
+            test_histogram_concurrent_merge;
+          Alcotest.test_case "json export" `Quick test_histogram_json;
+          Alcotest.test_case "gauge" `Quick test_gauge;
+        ]
+        @ metrics_qcheck_cases );
     ]
