@@ -984,6 +984,71 @@ let service_throughput () =
   report "cold" h_cold;
   report "warm" h_warm
 
+(* Every registered engine over the whole benchmark suite: control
+   steps per design plus the engine's total wall clock, and a race row
+   (the default portfolio on the worker pool). The recorded rows land
+   under the "portfolio" key in BENCH_softsched.json so later PRs can
+   regression-gate engine quality. *)
+let portfolio () =
+  section "Scheduler portfolio: control steps per engine (2 ALU, 2 MUL, 1 MEM)";
+  let resources =
+    R.make [ (R.Alu, 2); (R.Multiplier, 2); (R.Memory, 1) ]
+  in
+  let designs = Hls_bench.Suite.all in
+  Printf.printf "  %-16s" "engine";
+  List.iter
+    (fun (e : Hls_bench.Suite.entry) -> Printf.printf " %5s" e.name)
+    designs;
+  Printf.printf "  %10s\n" "total ms";
+  (* Branch and bound gets a node budget so the big designs stay in
+     incumbent-fallback territory instead of exploding the bench. *)
+  let budget_for name = if name = "bnb" then Some 200_000 else None in
+  List.iter
+    (fun eng ->
+      let name = Soft.Engine.name eng in
+      let total = ref 0.0 in
+      Printf.printf "  %-16s" name;
+      List.iter
+        (fun (e : Hls_bench.Suite.entry) ->
+          let g = e.build () in
+          let ctx = Soft.Engine.ctx ?budget:(budget_for name) () in
+          let o = Soft.Engine.run ~ctx eng ~resources g in
+          let a = o.Soft.Engine.annot in
+          total := !total +. a.Soft.Engine.wall_s;
+          Printf.printf " %5d" a.Soft.Engine.csteps;
+          record ~sec:"portfolio"
+            ~name:(Printf.sprintf "%s/%s csteps" e.name name)
+            ~unit:"csteps"
+            (float a.Soft.Engine.csteps))
+        designs;
+      Printf.printf "  %10.3f\n" (!total *. 1000.);
+      record ~sec:"portfolio"
+        ~name:(Printf.sprintf "%s total wall" name)
+        ~unit:"ms" (!total *. 1000.))
+    (Soft.Engine.all ());
+  let total = ref 0.0 in
+  Printf.printf "  %-16s" "race(default)";
+  List.iter
+    (fun (e : Hls_bench.Suite.entry) ->
+      let g = e.build () in
+      match
+        Serve.Race.run
+          ~engines:(Serve.Race.default_portfolio ())
+          ~resources g
+      with
+      | Error m -> failwith m
+      | Ok r ->
+        let a = r.Serve.Race.winner.Soft.Engine.annot in
+        total := !total +. r.Serve.Race.wall_s;
+        Printf.printf " %5d" a.Soft.Engine.csteps;
+        record ~sec:"portfolio"
+          ~name:(Printf.sprintf "%s/race csteps" e.name)
+          ~unit:"csteps"
+          (float a.Soft.Engine.csteps))
+    designs;
+  Printf.printf "  %10.3f\n" (!total *. 1000.);
+  record ~sec:"portfolio" ~name:"race total wall" ~unit:"ms" (!total *. 1000.)
+
 (* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -1009,6 +1074,7 @@ let sections =
     ("vliw", ablation_vliw);
     ("refine", refinement_loop);
     ("serve", service_throughput);
+    ("portfolio", portfolio);
     ("bechamel", bechamel_timings);
   ]
 

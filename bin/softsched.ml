@@ -95,9 +95,34 @@ let meta_arg =
 let scheduler_arg =
   let doc =
     "Scheduler: threaded (the paper's), search (threaded + meta-schedule \
-     search), list, asap, or exact."
+     search), list, asap, or exact. Superseded by $(b,--engine); kept for \
+     compatibility."
   in
   Arg.(value & opt string "threaded" & info [ "s"; "scheduler" ] ~doc)
+
+let engine_arg =
+  let doc =
+    "Scheduling engine from the portfolio: soft, naive, search, anneal, \
+     list, fdls, force_directed or bnb (aliases: threaded, sa, exact, fds). \
+     Overrides $(b,--scheduler)."
+  in
+  Arg.(value & opt (some string) None & info [ "e"; "engine" ] ~docv:"ENGINE" ~doc)
+
+let race_arg =
+  let doc =
+    "Race a comma-separated engine portfolio on a worker pool and keep the \
+     QoR winner (fewest control steps, then registers, then wall time). \
+     $(b,--race) $(i,default) races the standard portfolio \
+     (soft,list,fdls,anneal)."
+  in
+  Arg.(value & opt (some string) None & info [ "race" ] ~docv:"A,B,C" ~doc)
+
+let seed_arg =
+  let doc =
+    "RNG seed for the stochastic engines (anneal, search): same seed, same \
+     schedule."
+  in
+  Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc)
 
 (* Run [f] and convert the library's Failure errors into Cmdliner term
    errors (usage + message on stderr, exit 124) instead of raw
@@ -212,44 +237,103 @@ end
 
 (* --- schedule ------------------------------------------------------ *)
 
-let run_schedule design resources meta_s scheduler tel =
+let parse_portfolio spec =
+  if String.trim (String.lowercase_ascii spec) = "default" then
+    Serve.Race.default_portfolio ()
+  else
+    String.split_on_char ',' spec
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+    |> List.map (fun name ->
+           match Soft.Engine.of_string name with
+           | Ok e -> e
+           | Error m -> failwith m)
+
+let run_schedule design resources meta_s scheduler engine race seed tel =
   term_of_failure @@ fun () ->
   let g = graph_of_spec design in
-  let schedule, state =
+  let schedule, state, annot =
     Tel_cli.run tel
       ~vertex:(fun v -> Dfg.Graph.name g v)
-      ~tracks_of:(fun (_, state) ->
+      ~tracks_of:(fun (_, state, _) ->
         match state with
         | Some state -> Tel_cli.tracks_of_state state
         | None -> [])
       (fun () ->
-        match scheduler with
-        | "threaded" ->
-          let meta = meta_of_name ~resources meta_s in
-          let state = Soft.Scheduler.run ~meta ~resources g in
-          (Soft.Threaded_graph.to_schedule state, Some state)
-        | "search" ->
-          let state = Soft.Search.best_state ~resources g in
-          (Soft.Threaded_graph.to_schedule state, Some state)
-        | "list" -> (Hard.List_sched.run ~resources g, None)
-        | "asap" -> (Hard.Asap.run g, None)
-        | "exact" ->
-          let r = Hard.Exact_bb.run ~resources g in
-          Printf.printf "exact search: %d nodes, optimal=%b\n"
-            r.Hard.Exact_bb.nodes_explored r.Hard.Exact_bb.optimal;
-          (r.Hard.Exact_bb.schedule, None)
-        | other ->
-          failwith
-            (Printf.sprintf
-               "unknown scheduler %S: expected threaded, search, list, asap \
-                or exact"
-               other))
+        match (race, engine) with
+        | Some spec, _ -> (
+          let engines = parse_portfolio spec in
+          match Serve.Race.run ~seed ~meta:meta_s ~engines ~resources g with
+          | Error m -> failwith m
+          | Ok race ->
+            Printf.printf "race over %d engines (%.3f ms wall):\n"
+              (List.length race.Serve.Race.entries)
+              (race.Serve.Race.wall_s *. 1000.);
+            List.iter
+              (fun (e : Serve.Race.entry) ->
+                match e.Serve.Race.outcome with
+                | Some o ->
+                  let a = o.Soft.Engine.annot in
+                  Printf.printf "  %-16s %4d csteps %4d regs %10.3f ms%s\n"
+                    e.Serve.Race.engine a.Soft.Engine.csteps
+                    a.Soft.Engine.registers
+                    (a.Soft.Engine.wall_s *. 1000.)
+                    (if a.Soft.Engine.optimal then "  optimal" else "")
+                | None ->
+                  Printf.printf "  %-16s %s\n" e.Serve.Race.engine
+                    (if e.Serve.Race.cancelled then "cancelled"
+                     else
+                       "failed: "
+                       ^ Option.value ~default:"?" e.Serve.Race.error))
+              race.Serve.Race.entries;
+            let w = race.Serve.Race.winner in
+            (w.Soft.Engine.schedule, w.Soft.Engine.state,
+             Some w.Soft.Engine.annot))
+        | None, Some name ->
+          let e =
+            match Soft.Engine.of_string name with
+            | Ok e -> e
+            | Error m -> failwith m
+          in
+          let ctx = Soft.Engine.ctx ~seed ~meta:meta_s () in
+          let o = Soft.Engine.run ~ctx e ~resources g in
+          (o.Soft.Engine.schedule, o.Soft.Engine.state, Some o.Soft.Engine.annot)
+        | None, None -> (
+          match scheduler with
+          | "threaded" ->
+            let meta = meta_of_name ~resources meta_s in
+            let state = Soft.Scheduler.run ~meta ~resources g in
+            (Soft.Threaded_graph.to_schedule state, Some state, None)
+          | "search" ->
+            let state = Soft.Search.best_state ~resources g in
+            (Soft.Threaded_graph.to_schedule state, Some state, None)
+          | "list" -> (Hard.List_sched.run ~resources g, None, None)
+          | "asap" -> (Hard.Asap.run g, None, None)
+          | "exact" ->
+            let r = Hard.Exact_bb.run ~resources g in
+            Printf.printf "exact search: %d nodes, optimal=%b\n"
+              r.Hard.Exact_bb.nodes_explored r.Hard.Exact_bb.optimal;
+            (r.Hard.Exact_bb.schedule, None, None)
+          | other ->
+            failwith
+              (Printf.sprintf
+                 "unknown scheduler %S: expected threaded, search, list, asap \
+                  or exact"
+                 other)))
   in
   (match state with
   | Some state -> print_string (Soft.Render.threads state)
   | None -> ());
   Format.printf "%a@." Hard.Schedule.pp schedule;
   print_string (Hard.Schedule.gantt schedule);
+  (match annot with
+  | Some (a : Soft.Engine.annotations) ->
+    Printf.printf "engine: %s (%d registers, %.3f ms%s%s)\n"
+      a.Soft.Engine.engine a.Soft.Engine.registers
+      (a.Soft.Engine.wall_s *. 1000.)
+      (if a.Soft.Engine.optimal then ", optimal" else "")
+      (if a.Soft.Engine.degraded then ", degraded" else "")
+  | None -> ());
   (match Hard.Schedule.check ~resources schedule with
   | Ok () -> Printf.printf "valid under %s\n" (Hard.Resources.to_string resources)
   | Error m -> Printf.printf "INVALID: %s\n" m);
@@ -260,7 +344,7 @@ let schedule_cmd =
     Term.(
       ret
         (const run_schedule $ design_arg $ resources_arg $ meta_arg
-        $ scheduler_arg $ Tel_cli.term))
+        $ scheduler_arg $ engine_arg $ race_arg $ seed_arg $ Tel_cli.term))
   in
   Cmd.v (Cmd.info "schedule" ~doc:"Schedule a design and print the result")
     term

@@ -16,7 +16,7 @@ let rec choose_up_to k xs =
     let with_x = List.map (fun c -> x :: c) (choose_up_to (k - 1) rest) in
     with_x @ without
 
-let run ?(node_limit = 2_000_000) ~resources g =
+let run ?(node_limit = 2_000_000) ?should_stop ~resources g =
   let n = Graph.n_vertices g in
   let tdist = Paths.sink_distances g in
   (* Seed the incumbent with list scheduling. *)
@@ -44,9 +44,18 @@ let run ?(node_limit = 2_000_000) ~resources g =
       0
       (Resources.classes resources)
   in
+  (* The external cutoff (a race deadline, typically) is polled every
+     few thousand nodes so its cost stays invisible next to the subset
+     enumeration. Tripping it is the same graceful path as exhausting
+     the node budget: the incumbent is returned, [optimal = false]. *)
+  let stopped () =
+    match should_stop with
+    | Some f when !nodes land 0x7ff = 0 -> f ()
+    | _ -> false
+  in
   let rec explore cycle n_scheduled busy =
     incr nodes;
-    if !nodes > node_limit then out_of_budget := true
+    if !nodes > node_limit || stopped () then out_of_budget := true
     else if n_scheduled = n then begin
       let len =
         Graph.fold_vertices
@@ -59,11 +68,25 @@ let run ?(node_limit = 2_000_000) ~resources g =
       end
     end
     else begin
-      (* Critical-path lower bound over unscheduled ops. *)
+      (* ASAP-tightened critical-path lower bound: an unscheduled op
+         cannot start before its already-placed predecessors finish, so
+         its earliest start is max(cycle, preds' finishes) — strictly
+         sharper than the plain [cycle + tdist] bound whenever a long
+         chain is already pinned. *)
       let cp_bound =
         Graph.fold_vertices
           (fun acc v ->
-            if starts.(v) < 0 then max acc (cycle + tdist.(v)) else acc)
+            if starts.(v) < 0 then begin
+              let est =
+                Graph.fold_preds
+                  (fun e p ->
+                    if starts.(p) >= 0 then max e (starts.(p) + Graph.delay g p)
+                    else e)
+                  cycle g v
+              in
+              max acc (est + tdist.(v))
+            end
+            else acc)
           0 g
       in
       if cp_bound < !best_len && class_bound cycle < !best_len then begin
@@ -129,6 +152,23 @@ let run ?(node_limit = 2_000_000) ~resources g =
                 acc)
             [ [] ]
             (Resources.classes resources)
+        in
+        (* ALAP pruning: a ready op whose latest start against the
+           incumbent is this cycle (postponing it one cycle already
+           reaches best_len) must be in every surviving subset — a
+           branch that defers it cannot beat the incumbent. When the
+           must-start set does not fit the free units, every branch
+           dies and we backtrack immediately. *)
+        let must_now =
+          List.filter (fun v -> cycle + 1 + tdist.(v) >= !best_len) ready_ops
+        in
+        let branches =
+          match must_now with
+          | [] -> branches
+          | _ ->
+            List.filter
+              (fun subset -> List.for_all (fun v -> List.memq v subset) must_now)
+              branches
         in
         (* Prefer larger subsets first: finds good incumbents early. *)
         let branches =

@@ -7,8 +7,11 @@ open Import
     limited"; this module is that expensive comparator, used to audit
     how far the heuristic and threaded schedulers sit from optimal on
     small graphs. The search branches, cycle by cycle, on every subset
-    of ready operations that fits the free units, with critical-path and
-    work-per-unit lower bounds for pruning. *)
+    of ready operations that fits the free units, pruned three ways: an
+    ASAP-tightened critical-path lower bound (earliest starts honour
+    already-placed predecessors), a work-per-unit bound, and an ALAP
+    rule forcing zero-slack ready operations (against the incumbent)
+    into every surviving subset. *)
 
 type result = {
   schedule : Schedule.t;
@@ -16,7 +19,14 @@ type result = {
   nodes_explored : int;
 }
 
-val run : ?node_limit:int -> resources:Resources.t -> Graph.t -> result
-(** [node_limit] defaults to 2_000_000 search nodes; on exhaustion the
-    best incumbent (never worse than list scheduling, which seeds the
-    search) is returned with [optimal = false]. *)
+val run :
+  ?node_limit:int ->
+  ?should_stop:(unit -> bool) ->
+  resources:Resources.t ->
+  Graph.t ->
+  result
+(** [node_limit] defaults to 2_000_000 search nodes; [should_stop] is
+    an external cutoff (a race deadline) polled every few thousand
+    nodes. On either cutoff the best incumbent (never worse than list
+    scheduling, which seeds the search) is returned with
+    [optimal = false] — branch and bound always degrades gracefully. *)

@@ -72,6 +72,12 @@ type t = {
   mutable busy_turnaways : int;
   mutable slow : int;
   mutable slow_log : slow_log option;
+  (* per-engine outcome counters: how often each portfolio engine ran
+     to completion, and how often it won a race (the race-win
+     histogram). Keyed by canonical engine name. *)
+  engine_runs : (string, int) Hashtbl.t;
+  race_wins : (string, int) Hashtbl.t;
+  mutable races : int;
 }
 
 let create () =
@@ -97,6 +103,9 @@ let create () =
     busy_turnaways = 0;
     slow = 0;
     slow_log = None;
+    engine_runs = Hashtbl.create 8;
+    race_wins = Hashtbl.create 8;
+    races = 0;
   }
 
 let with_lock t f =
@@ -184,6 +193,20 @@ let record t ~trace ~design ~ok:is_ok ~cached ~degraded (sp : span) =
 
 let turned_away t = with_lock t (fun () -> t.busy_turnaways <- t.busy_turnaways + 1)
 
+let bump tbl key =
+  Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+
+let engine_run t ~engine = with_lock t (fun () -> bump t.engine_runs engine)
+
+let race_win t ~engine =
+  with_lock t (fun () ->
+      t.races <- t.races + 1;
+      bump t.race_wins engine)
+
+let sorted_counts tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
 (* Back-off hint for turned-away clients: the median request latency
    scaled by the work already queued ahead of them. With no history yet
    there is nothing to extrapolate from — suggest a flat 50ms. *)
@@ -250,11 +273,35 @@ let snapshot_json ?cache t =
             ("cache_capacity", gauge_json t.g_cache_capacity);
           ]
       in
+      let engines =
+        (* Union of the two key sets, sorted, so a race loser that never
+           won still shows its run count. *)
+        let names =
+          List.sort_uniq compare
+            (List.map fst (sorted_counts t.engine_runs)
+            @ List.map fst (sorted_counts t.race_wins))
+        in
+        Json.Obj
+          (List.map
+             (fun name ->
+               let count tbl =
+                 Option.value ~default:0 (Hashtbl.find_opt tbl name)
+               in
+               ( name,
+                 Json.Obj
+                   [
+                     ("runs", Json.int (count t.engine_runs));
+                     ("race_wins", Json.int (count t.race_wins));
+                   ] ))
+             names)
+      in
       let base =
         [
           ("uptime_s", Json.num (Unix.gettimeofday () -. t.started_at));
           ("requests", requests);
           ("latency_ms", latency);
+          ("races", Json.int t.races);
+          ("engines", engines);
           ("gauges", gauges);
         ]
       in
@@ -304,6 +351,20 @@ let to_prometheus ?cache t =
         "Connections turned away at the connection cap." t.busy_turnaways;
       counter "softsched_slow_requests_total"
         "Requests over the slow-log threshold." t.slow;
+      counter "softsched_races_total" "Engine races run." t.races;
+      let labelled name help tbl =
+        if Hashtbl.length tbl > 0 then begin
+          line "# HELP %s %s" name help;
+          line "# TYPE %s counter" name;
+          List.iter
+            (fun (engine, v) -> line "%s{engine=%S} %d" name engine v)
+            (sorted_counts tbl)
+        end
+      in
+      labelled "softsched_engine_runs_total"
+        "Completed scheduling runs, by engine." t.engine_runs;
+      labelled "softsched_race_wins_total"
+        "Races won (Qor.Diff order), by engine." t.race_wins;
       let gauge name help g =
         line "# HELP %s %s" name help;
         line "# TYPE %s gauge" name;
@@ -361,6 +422,18 @@ let summary t =
       line "service metrics: %d requests (%d ok, %d errors, %d cached, %d \
             degraded, %d turned away)"
         t.requests t.ok t.errors t.cached t.degraded t.busy_turnaways;
+      if Hashtbl.length t.engine_runs > 0 then
+        line "  engines (%d races): %s" t.races
+          (String.concat ", "
+             (List.map
+                (fun (name, runs) ->
+                  let wins =
+                    Option.value ~default:0 (Hashtbl.find_opt t.race_wins name)
+                  in
+                  if wins > 0 then
+                    Printf.sprintf "%s %d runs (%d wins)" name runs wins
+                  else Printf.sprintf "%s %d runs" name runs)
+                (sorted_counts t.engine_runs)));
       line "  %-14s %8s %10s %10s %10s %10s" "phase (ms)" "count" "p50" "p90"
         "p99" "max";
       List.iter

@@ -51,6 +51,15 @@ val record :
 val turned_away : t -> unit
 (** Count a connection rejected at the connection cap. *)
 
+val engine_run : t -> engine:string -> unit
+(** Count one completed scheduling run by the named portfolio engine
+    (fast-path soft runs, race participants, exhaustive runs alike). *)
+
+val race_win : t -> engine:string -> unit
+(** Count one race and credit the winner — the race-win histogram in
+    the snapshot ([engines.<name>.race_wins]) and the Prometheus
+    [softsched_race_wins_total{engine=…}] family. *)
+
 val retry_after_ms : t -> queue_depth:int -> int
 (** Back-off hint for a turned-away client: median request latency
     scaled by the queue depth, clamped to [25, 5000] ms (50 ms before

@@ -10,6 +10,16 @@ type spec =
   | Inline_dfg of string  (* a .dfg document, inline *)
   | Inline_beh of string  (* behavioral source, inline *)
 
+(* The per-request quality/latency knob. [Fast] is the pre-portfolio
+   behavior, byte for byte; [Race] fans out to an engine portfolio and
+   keeps the QoR winner; [Exhaustive] runs branch and bound. *)
+type effort = Fast | Race | Exhaustive
+
+let effort_label = function
+  | Fast -> "fast"
+  | Race -> "race"
+  | Exhaustive -> "exhaustive"
+
 type request = {
   id : string option;  (* client correlation id, echoed verbatim *)
   spec : spec;
@@ -17,6 +27,8 @@ type request = {
   meta : string;  (* "dfs" | "topo" | "paths" | "list" *)
   deadline_ms : float option;  (* soft deadline, measured from enqueue *)
   want_schedule : bool;  (* include the op->(thread,step) map? *)
+  effort : effort;
+  engines : string list option;  (* race portfolio override, canonical names *)
 }
 
 type slot = {
@@ -35,6 +47,7 @@ type result = {
   edges : int;
   diameter : int;
   degraded : bool;  (* deadline overran: tail placed by the fast fallback *)
+  engine : string option;  (* winning/requested engine; None on the fast path *)
   assignment : slot list;
 }
 
@@ -103,7 +116,43 @@ let request_of_json j =
       | Some _ -> Error "field \"schedule\" must be a boolean"
       | None -> Ok true
     in
-    Ok { id; spec; resources; meta; deadline_ms; want_schedule }
+    let* effort =
+      match Json.member "effort" j with
+      | None -> Ok Fast
+      | Some (Json.Str "fast") -> Ok Fast
+      | Some (Json.Str "race") -> Ok Race
+      | Some (Json.Str "exhaustive") -> Ok Exhaustive
+      | Some (Json.Str other) ->
+        Error
+          (Printf.sprintf
+             "unknown effort %S (expected \"fast\", \"race\", \"exhaustive\")"
+             other)
+      | Some _ -> Error "field \"effort\" must be a string"
+    in
+    let* engines =
+      match Json.member "engines" j with
+      | None -> Ok None
+      | Some (Json.Arr items) ->
+        if effort <> Race then
+          Error "field \"engines\" requires \"effort\":\"race\""
+        else
+          (* Canonicalise (aliases resolved) so the cache key is
+             spelling-independent. *)
+          List.fold_left
+            (fun acc item ->
+              let* acc = acc in
+              match item with
+              | Json.Str s -> (
+                match Engine.of_string s with
+                | Ok e -> Ok (Engine.name e :: acc)
+                | Error m -> Error m)
+              | _ -> Error "field \"engines\" must be an array of strings")
+            (Ok []) items
+          |> Result.map (fun names ->
+                 match List.rev names with [] -> None | l -> Some l)
+      | Some _ -> Error "field \"engines\" must be an array of strings"
+    in
+    Ok { id; spec; resources; meta; deadline_ms; want_schedule; effort; engines }
   | _ -> Error "request must be a JSON object"
 
 let request_of_line line =
@@ -150,6 +199,12 @@ let request_to_json r =
          | Some d -> [ ("deadline_ms", Json.num d) ]
          | None -> []);
          (if r.want_schedule then [] else [ ("schedule", Json.Bool false) ]);
+         (match r.effort with
+         | Fast -> []
+         | e -> [ ("effort", Json.str (effort_label e)) ]);
+         (match r.engines with
+         | Some es -> [ ("engines", Json.Arr (List.map Json.str es)) ]
+         | None -> []);
        ])
 
 (* -- results ---------------------------------------------------------- *)
@@ -167,17 +222,25 @@ let slot_to_json s =
 
 let result_to_json r =
   Json.Obj
-    [
-      ("fingerprint", Json.str r.fingerprint);
-      ("design", Json.str r.design);
-      ("resources", Json.str r.resources_str);
-      ("meta", Json.str r.meta);
-      ("vertices", Json.int r.vertices);
-      ("edges", Json.int r.edges);
-      ("diameter", Json.int r.diameter);
-      ("degraded", Json.Bool r.degraded);
-      ("schedule", Json.Arr (List.map slot_to_json r.assignment));
-    ]
+    (List.concat
+       [
+         [
+           ("fingerprint", Json.str r.fingerprint);
+           ("design", Json.str r.design);
+           ("resources", Json.str r.resources_str);
+           ("meta", Json.str r.meta);
+         ];
+         (match r.engine with
+         | Some e -> [ ("engine", Json.str e) ]
+         | None -> []);
+         [
+           ("vertices", Json.int r.vertices);
+           ("edges", Json.int r.edges);
+           ("diameter", Json.int r.diameter);
+           ("degraded", Json.Bool r.degraded);
+           ("schedule", Json.Arr (List.map slot_to_json r.assignment));
+         ];
+       ])
 
 let slot_of_json j =
   let* vertex =
@@ -240,6 +303,12 @@ let result_of_json j =
       |> Result.map List.rev
     | _ -> Error "result needs an array \"schedule\""
   in
+  let* engine =
+    match Json.member "engine" j with
+    | None -> Ok None
+    | Some (Json.Str s) -> Ok (Some s)
+    | Some _ -> Error "result \"engine\" must be a string"
+  in
   Ok
     {
       fingerprint;
@@ -250,6 +319,7 @@ let result_of_json j =
       edges;
       diameter;
       degraded;
+      engine;
       assignment;
     }
 
@@ -272,10 +342,18 @@ let core_fields ~want_schedule (r : result) =
       ("design", Json.str r.design);
       ("resources", Json.str r.resources_str);
       ("meta", Json.str r.meta);
-      ("vertices", Json.int r.vertices);
-      ("edges", Json.int r.edges);
-      ("diameter", Json.int r.diameter);
     ]
+    (* Fast-path responses have no engine field, preserving the batch
+       byte-identity contract; race/exhaustive responses carry the
+       engine that produced the schedule. *)
+    @ (match r.engine with
+      | Some e -> [ ("engine", Json.str e) ]
+      | None -> [])
+    @ [
+        ("vertices", Json.int r.vertices);
+        ("edges", Json.int r.edges);
+        ("diameter", Json.int r.diameter);
+      ]
     @
     if want_schedule then
       [ ("schedule", Json.Arr (List.map slot_to_json r.assignment)) ]

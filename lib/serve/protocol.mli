@@ -15,6 +15,16 @@ type spec =
   | Inline_dfg of string  (** a [.dfg] document, inline *)
   | Inline_beh of string  (** behavioral source, inline *)
 
+(** The per-request quality/latency knob. [Fast] is the single
+    threaded-scheduler pass (the pre-portfolio behavior, byte for
+    byte); [Race] fans out to an engine portfolio and keeps the QoR
+    winner; [Exhaustive] runs branch and bound to (attempted)
+    optimality. *)
+type effort = Fast | Race | Exhaustive
+
+val effort_label : effort -> string
+(** ["fast"] / ["race"] / ["exhaustive"] — the wire spelling. *)
+
 type request = {
   id : string option;  (** client correlation id, echoed verbatim *)
   spec : spec;
@@ -22,6 +32,10 @@ type request = {
   meta : string;
   deadline_ms : float option;
   want_schedule : bool;
+  effort : effort;  (** default [Fast] *)
+  engines : string list option;
+      (** race portfolio override (canonical engine names, aliases
+          already resolved); only valid with [effort = Race] *)
 }
 
 type slot = {
@@ -41,6 +55,10 @@ type result = {
   edges : int;
   diameter : int;
   degraded : bool;
+  engine : string option;
+      (** the engine that produced the schedule; [None] on the fast
+          path, so fast responses are byte-identical to pre-portfolio
+          output *)
   assignment : slot list;
 }
 

@@ -118,12 +118,29 @@ let build_graph spec =
     try Ok (Ir.Lower.of_source text)
     with e -> Error (Printf.sprintf "bad source: %s" (Printexc.to_string e)))
 
+(* Effort variants of one design are distinct cache entries: the fast
+   key is the bare fingerprint key (so persisted caches from before the
+   portfolio stay valid) and race/exhaustive append a suffix. A race
+   over an explicit portfolio keys on the canonical engine list — the
+   winner depends on who runs. *)
+let effort_suffix (req : Protocol.request) =
+  match req.effort with
+  | Protocol.Fast -> ""
+  | Protocol.Exhaustive -> "|exhaustive"
+  | Protocol.Race -> (
+    match req.engines with
+    | None -> "|race"
+    | Some es -> "|race:" ^ String.concat "," es)
+
 let prepare t (req : Protocol.request) =
   let resources_str = Resources.to_string req.resources in
+  let suffix = effort_suffix req in
   let name_key =
     match req.spec with
     | Protocol.Named n ->
-      Some (String.lowercase_ascii n ^ "|" ^ resources_str ^ "|" ^ req.meta)
+      Some
+        (String.lowercase_ascii n ^ "|" ^ resources_str ^ "|" ^ req.meta
+       ^ suffix)
     | Protocol.Inline_dfg _ | Protocol.Inline_beh _ -> None
   in
   let memoised =
@@ -137,7 +154,9 @@ let prepare t (req : Protocol.request) =
     match build_graph req.spec with
     | Error _ as e -> e
     | Ok g ->
-      let key = Fingerprint.key ~meta:req.meta ~resources:req.resources g in
+      let key =
+        Fingerprint.key ~meta:req.meta ~resources:req.resources g ^ suffix
+      in
       (match name_key with
       | Some nk ->
         with_lock t.memo_lock (fun () -> Hashtbl.replace t.name_memo nk key)
@@ -146,37 +165,17 @@ let prepare t (req : Protocol.request) =
 
 (* -- scheduling with a soft deadline ---------------------------------- *)
 
-(* Past the deadline we stop optimising: each remaining operation goes
-   to its first feasible position (commit_at keeps the state invariants,
-   so the result is still a valid threaded schedule — just not a
-   diameter-minimising one). Zero-resource ops have no positions and are
-   placed free, same as the normal path. *)
-let fast_place st v =
-  match T.feasible_positions st v with
-  | [] -> T.schedule st v
-  | p :: _ -> T.commit_at st v p
-
+(* The deadline-degrading threaded pass lives in lib/core now
+   (Engine.threaded_run) so the fast path here and the portfolio's
+   [soft] engine are the same code by construction; this wrapper only
+   resolves the meta name. *)
 let schedule_graph ?deadline ~meta ~resources g =
   let meta_fn =
     match Meta.of_name ~resources meta with
     | Some m -> m
     | None -> invalid_arg ("Service: unknown meta " ^ meta)
   in
-  let order = meta_fn g in
-  let st = T.create g ~resources in
-  let degraded = ref false in
-  List.iter
-    (fun v ->
-      if not (T.is_scheduled st v) then
-        if !degraded then fast_place st v
-        else begin
-          (match deadline with
-          | Some d when Unix.gettimeofday () > d -> degraded := true
-          | _ -> ());
-          if !degraded then fast_place st v else T.schedule st v
-        end)
-    order;
-  (st, !degraded)
+  Engine.threaded_run ?deadline ~meta:meta_fn ~resources g
 
 let result_of_state ~key ~design ~resources ~meta ~degraded st =
   let g = T.graph st in
@@ -204,6 +203,44 @@ let result_of_state ~key ~design ~resources ~meta ~degraded st =
     edges = Graph.n_edges g;
     diameter = T.diameter st;
     degraded;
+    engine = None;
+    assignment;
+  }
+
+(* Build a result from an annotated engine outcome (race winner or
+   exhaustive run). Thread assignments are only known for soft-state
+   engines; for the hard ones the slots carry the step alone, like a
+   free placement. *)
+let result_of_outcome ~key ~design ~resources ~meta (o : Engine.outcome) =
+  let sched = o.Engine.schedule in
+  let g = Schedule.graph sched in
+  let thread_of v =
+    match o.Engine.state with Some st -> T.thread_of st v | None -> None
+  in
+  let assignment =
+    List.map
+      (fun v ->
+        {
+          Protocol.vertex = Graph.name g v;
+          op = Op.to_string (Graph.op g v);
+          unit_ = thread_of v;
+          step = Schedule.start sched v;
+        })
+      (Graph.vertices g)
+  in
+  {
+    Protocol.fingerprint =
+      (match String.index_opt key '|' with
+      | Some i -> String.sub key 0 i
+      | None -> key);
+    design;
+    resources_str = Resources.to_string resources;
+    meta;
+    vertices = Graph.n_vertices g;
+    edges = Graph.n_edges g;
+    diameter = Schedule.length sched;
+    degraded = o.Engine.annot.Engine.degraded;
+    engine = Some o.Engine.annot.Engine.engine;
     assignment;
   }
 
@@ -242,14 +279,55 @@ let execute ?deadline ?span t p =
     in
     let resources = p.req.Protocol.resources in
     let meta = p.req.Protocol.meta in
-    let st, degraded = schedule_graph ?deadline ~meta ~resources g in
-    let o =
-      outcome
-        (result_of_state ~key:p.key
-           ~design:(Protocol.spec_label p.req.Protocol.spec)
-           ~resources ~meta ~degraded st)
+    let design = Protocol.spec_label p.req.Protocol.spec in
+    let record_engine name =
+      match t.metrics with
+      | None -> ()
+      | Some m -> Metrics.engine_run m ~engine:name
     in
-    if not degraded then Cache.add t.cache p.key o;
+    let result =
+      match p.req.Protocol.effort with
+      | Protocol.Fast ->
+        let st, degraded = schedule_graph ?deadline ~meta ~resources g in
+        record_engine "soft";
+        result_of_state ~key:p.key ~design ~resources ~meta ~degraded st
+      | Protocol.Race ->
+        (* The race builds its own private pool: execute already runs
+           inside a pool worker (daemon/batch), and fanning out on that
+           same pool would deadlock its workers against each other. *)
+        let engines =
+          match p.req.Protocol.engines with
+          | Some names -> List.filter_map Engine.find names
+          | None -> Race.default_portfolio ()
+        in
+        (match Race.run ?deadline ~meta ~engines ~resources g with
+        | Error m -> failwith m
+        | Ok race ->
+          List.iter
+            (fun (e : Race.entry) ->
+              if Option.is_some e.Race.outcome then
+                record_engine e.Race.engine)
+            race.Race.entries;
+          (match t.metrics with
+          | None -> ()
+          | Some m ->
+            Metrics.race_win m
+              ~engine:race.Race.winner.Engine.annot.Engine.engine);
+          result_of_outcome ~key:p.key ~design ~resources ~meta
+            race.Race.winner)
+      | Protocol.Exhaustive ->
+        let e =
+          match Engine.find "bnb" with
+          | Some e -> e
+          | None -> failwith "engine bnb is not registered"
+        in
+        let ctx = Engine.ctx ?deadline ~meta () in
+        let o = Engine.run ~ctx e ~resources g in
+        record_engine o.Engine.annot.Engine.engine;
+        result_of_outcome ~key:p.key ~design ~resources ~meta o
+    in
+    let o = outcome result in
+    if not result.Protocol.degraded then Cache.add t.cache p.key o;
     add_schedule (now () - t1);
     sync_cache_gauge t;
     (o, false)

@@ -9,7 +9,16 @@
     the warm path is a hash lookup plus rendering.
 
     Results produced after a deadline overrun ([degraded = true]) are
-    never cached. *)
+    never cached.
+
+    The request's [effort] field picks the execution strategy on a
+    miss: [Fast] is one threaded-scheduler pass (byte-identical to the
+    pre-portfolio service), [Race] fans out to an engine portfolio on a
+    private pool and keeps the {!Qor.Diff}-best result, [Exhaustive]
+    runs branch and bound. Efforts cache under distinct keys (the fast
+    key is unchanged, so persisted caches stay valid), and
+    race/exhaustive results are cacheable like any other — only
+    degraded ones are not. *)
 
 open Import
 

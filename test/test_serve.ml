@@ -304,9 +304,52 @@ let test_protocol_result_roundtrip () =
            ~want_schedule:true r)
         (Service.line ~id:"i" ~trace:"t" ~cached:false ~want_schedule:true o))
 
+let test_protocol_effort_and_engines () =
+  (match
+     Protocol.request_of_line
+       {|{"design":"HAL","effort":"race","engines":["list","exact"]}|}
+   with
+  | Error m -> Alcotest.fail m
+  | Ok r ->
+    check Alcotest.bool "effort parses to race" true
+      (r.Protocol.effort = Protocol.Race);
+    check
+      Alcotest.(option (list string))
+      "engine aliases canonicalised"
+      (Some [ "list"; "bnb" ])
+      r.Protocol.engines;
+    (* effort and engines survive a JSON round-trip *)
+    (match Protocol.request_of_json (Protocol.request_to_json r) with
+    | Ok r' -> check Alcotest.bool "request round-trips" true (r = r')
+    | Error m -> Alcotest.fail m));
+  (match Protocol.request_of_line {|{"design":"HAL","effort":"exhaustive"}|} with
+  | Ok r ->
+    check Alcotest.bool "exhaustive parses" true
+      (r.Protocol.effort = Protocol.Exhaustive)
+  | Error m -> Alcotest.fail m);
+  (* a plain request still defaults to fast with no engine list *)
+  (match Protocol.request_of_line {|{"design":"HAL"}|} with
+  | Ok r ->
+    check Alcotest.bool "default effort is fast" true
+      (r.Protocol.effort = Protocol.Fast);
+    check Alcotest.(option (list string)) "no engines" None r.Protocol.engines
+  | Error m -> Alcotest.fail m);
+  let err line =
+    match Protocol.request_of_line line with Error _ -> true | Ok _ -> false
+  in
+  check Alcotest.bool "unknown effort" true
+    (err {|{"design":"HAL","effort":"turbo"}|});
+  check Alcotest.bool "engines require race" true
+    (err {|{"design":"HAL","engines":["list"]}|});
+  check Alcotest.bool "unknown engine name" true
+    (err {|{"design":"HAL","effort":"race","engines":["zigzag"]}|});
+  check Alcotest.bool "engines must be strings" true
+    (err {|{"design":"HAL","effort":"race","engines":[3]}|})
+
 (* --- service --------------------------------------------------------- *)
 
-let request_for ?deadline_ms ?(meta = "topo") design =
+let request_for ?deadline_ms ?(meta = "topo") ?(effort = Protocol.Fast) ?engines
+    design =
   {
     Protocol.id = None;
     spec = Protocol.Named design;
@@ -314,6 +357,8 @@ let request_for ?deadline_ms ?(meta = "topo") design =
     meta;
     deadline_ms;
     want_schedule = true;
+    effort;
+    engines;
   }
 
 let test_service_cache_flow () =
@@ -409,6 +454,72 @@ let test_service_save_load () =
   | Ok n -> Alcotest.failf "missing file loaded %d entries" n
   | Error m -> Alcotest.fail m
 
+let test_service_effort_race () =
+  let service = Service.create () in
+  let prep req =
+    match Service.prepare service req with
+    | Ok p -> p
+    | Error m -> Alcotest.fail m
+  in
+  let o, cached =
+    Service.execute service (prep (request_for ~effort:Protocol.Race "HAL"))
+  in
+  check Alcotest.bool "race computes" false cached;
+  let r = Service.result_of o in
+  (match r.Protocol.engine with
+  | Some _ -> ()
+  | None -> Alcotest.fail "race result must name the winning engine");
+  (* the race result is cached under its own (effort-suffixed) key *)
+  let o2, cached2 =
+    Service.execute service (prep (request_for ~effort:Protocol.Race "HAL"))
+  in
+  check Alcotest.bool "race hit on repeat" true cached2;
+  check Alcotest.bool "cached race result unchanged" true
+    (Service.result_of o2 = r);
+  (* a fast request for the same design computes separately and never
+     carries an engine marker — the fast contract is untouched *)
+  let of_, cachedf = Service.execute service (prep (request_for "HAL")) in
+  check Alcotest.bool "fast key distinct from race key" false cachedf;
+  check Alcotest.bool "fast result carries no engine marker" true
+    ((Service.result_of of_).Protocol.engine = None);
+  check Alcotest.bool "race no worse than fast" true
+    (r.Protocol.diameter <= (Service.result_of of_).Protocol.diameter);
+  (* an explicit subset races under its own key and wins from within *)
+  let os, cs =
+    Service.execute service
+      (prep (request_for ~effort:Protocol.Race ~engines:[ "list"; "bnb" ] "HAL"))
+  in
+  check Alcotest.bool "subset computes under its own key" false cs;
+  match (Service.result_of os).Protocol.engine with
+  | Some e ->
+    check Alcotest.bool "winner is in the subset" true
+      (List.mem e [ "list"; "bnb" ])
+  | None -> Alcotest.fail "subset race result lacks engine"
+
+let test_service_effort_exhaustive () =
+  let service = Service.create () in
+  let prep () =
+    match
+      Service.prepare service (request_for ~effort:Protocol.Exhaustive "EF")
+    with
+    | Ok p -> p
+    | Error m -> Alcotest.fail m
+  in
+  let o, cached = Service.execute service (prep ()) in
+  check Alcotest.bool "exhaustive computes" false cached;
+  let r = Service.result_of o in
+  check Alcotest.(option string) "branch and bound answered" (Some "bnb")
+    r.Protocol.engine;
+  (* proven-optimal: no fast schedule of the same design is shorter *)
+  (match Service.prepare service (request_for "EF") with
+  | Ok p ->
+    let fast = Service.result_of (fst (Service.execute service p)) in
+    check Alcotest.bool "exhaustive <= fast" true
+      (r.Protocol.diameter <= fast.Protocol.diameter)
+  | Error m -> Alcotest.fail m);
+  let _, cached2 = Service.execute service (prep ()) in
+  check Alcotest.bool "exhaustive cached on repeat" true cached2
+
 (* --- batch ----------------------------------------------------------- *)
 
 let batch_lines =
@@ -457,6 +568,23 @@ let test_batch_warm_hit_rate () =
     (List.length out_warm);
   check Alcotest.bool "summary advertises 100%" true
     (contains (Batch.summary warm) "(100%)")
+
+let test_batch_fast_identity_beside_race () =
+  (* The byte-identity contract: fast responses are unchanged by a race
+     request sharing the batch (and the cache). The race line comes
+     last so the positional trace ids of the fast lines agree. *)
+  let plain = [ {|{"id":"1","design":"HAL"}|}; {|{"id":"2","design":"AR"}|} ] in
+  let out_plain, _ = Batch.run_lines (Service.create ()) ~jobs:2 plain in
+  let mixed = plain @ [ {|{"id":"3","design":"HAL","effort":"race"}|} ] in
+  let out_mixed, stats = Batch.run_lines (Service.create ()) ~jobs:2 mixed in
+  check Alcotest.int "all answered" 3 (List.length out_mixed);
+  check Alcotest.int "race misses the fast HAL entry" 0 stats.Batch.hits;
+  check
+    Alcotest.(list string)
+    "fast lines byte-identical beside a race" out_plain
+    (List.filteri (fun i _ -> i < 2) out_mixed);
+  check Alcotest.bool "race line names its winning engine" true
+    (contains (List.nth out_mixed 2) {|"engine":"|})
 
 (* --- daemon ----------------------------------------------------------- *)
 
@@ -586,6 +714,33 @@ let test_metrics_snapshot_and_prometheus () =
        "softsched_request_phase_seconds_bucket{phase=\"total\",le=\"+Inf\"} 3");
   check Alcotest.bool "counter series present" true
     (contains prom "softsched_requests_total 3")
+
+let test_metrics_engine_counters () =
+  let m = Metrics.create () in
+  Metrics.engine_run m ~engine:"list";
+  Metrics.engine_run m ~engine:"list";
+  Metrics.engine_run m ~engine:"bnb";
+  Metrics.race_win m ~engine:"list";
+  let j =
+    match
+      Json.parse_result (Json.to_string ~minify:true (Metrics.snapshot_json m))
+    with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "snapshot not JSON: %s" e
+  in
+  check Alcotest.int "races counted" 1 (json_int j [ "races" ]);
+  check Alcotest.int "list runs" 2 (json_int j [ "engines"; "list"; "runs" ]);
+  check Alcotest.int "list wins" 1
+    (json_int j [ "engines"; "list"; "race_wins" ]);
+  (* a racer that never won still shows its run count *)
+  check Alcotest.int "bnb runs" 1 (json_int j [ "engines"; "bnb"; "runs" ]);
+  check Alcotest.int "bnb wins" 0 (json_int j [ "engines"; "bnb"; "race_wins" ]);
+  let prom = Metrics.to_prometheus m in
+  check Alcotest.bool "labelled run counter" true
+    (contains prom {|softsched_engine_runs_total{engine="list"} 2|});
+  check Alcotest.bool "labelled win counter" true
+    (contains prom {|softsched_race_wins_total{engine="list"} 1|});
+  check Alcotest.bool "race total" true (contains prom "softsched_races_total 1")
 
 let test_metrics_retry_after () =
   let m = Metrics.create () in
@@ -808,6 +963,8 @@ let () =
             test_protocol_request_errors;
           Alcotest.test_case "result roundtrip" `Quick
             test_protocol_result_roundtrip;
+          Alcotest.test_case "effort and engines" `Quick
+            test_protocol_effort_and_engines;
         ] );
       ( "service",
         [
@@ -815,6 +972,9 @@ let () =
           Alcotest.test_case "degraded fallback" `Quick
             test_service_degraded_fallback;
           Alcotest.test_case "save and load" `Quick test_service_save_load;
+          Alcotest.test_case "race effort" `Quick test_service_effort_race;
+          Alcotest.test_case "exhaustive effort" `Quick
+            test_service_effort_exhaustive;
         ] );
       ( "batch",
         [
@@ -823,6 +983,8 @@ let () =
           Alcotest.test_case "warm hit rate" `Quick test_batch_warm_hit_rate;
           Alcotest.test_case "byte-identical with metrics" `Quick
             test_batch_identical_with_metrics;
+          Alcotest.test_case "fast identity beside a race" `Quick
+            test_batch_fast_identity_beside_race;
         ] );
       ( "daemon",
         [
@@ -839,6 +1001,8 @@ let () =
         [
           Alcotest.test_case "snapshot and prometheus" `Quick
             test_metrics_snapshot_and_prometheus;
+          Alcotest.test_case "engine counters" `Quick
+            test_metrics_engine_counters;
           Alcotest.test_case "retry-after hint" `Quick test_metrics_retry_after;
           Alcotest.test_case "slow-request log" `Quick
             test_metrics_slow_log_file;
