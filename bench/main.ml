@@ -984,6 +984,112 @@ let service_throughput () =
   report "cold" h_cold;
   report "warm" h_warm
 
+(* Parallel-scaling sweep for the domains pool: cold throughput at
+   jobs ∈ {1,2,4,N} (N = detected cores) over a persistent pool — the
+   pool is created once per level and lent to every batch pass, so
+   domain spawn cost stays out of the measurement — plus warm cached
+   lookups/sec with that many concurrent workers hammering one primed
+   service through the sharded cache. Rows land under the
+   "serve_scaling" key in BENCH_softsched.json; CI gates the cold
+   jobs=4 / jobs=1 ratio at >= 1.5x on OCaml 5.x (on the threads
+   backend the ratio is ~1.0 — the GIL — which is the point of the
+   domains port). *)
+let service_scaling () =
+  section
+    (Printf.sprintf "Service parallel scaling (%s backend, %d cores detected)"
+       Serve.Pool.backend
+       (Serve.Pool.default_jobs ()));
+  let lines =
+    List.map
+      (fun (e : Hls_bench.Suite.entry) ->
+        Printf.sprintf {|{"design":%S}|} e.name)
+      Hls_bench.Suite.all
+  in
+  let n = List.length lines in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let jobs_levels =
+    List.sort_uniq compare [ 1; 2; 4; Serve.Pool.default_jobs () ]
+  in
+  let cold_iters = 20 in
+  let cold jobs =
+    let pool = Serve.Pool.create ~jobs () in
+    let s =
+      time (fun () ->
+          for _ = 1 to cold_iters do
+            ignore
+              (Serve.Batch.run_lines ~pool (Serve.Service.create ()) ~jobs
+                 lines)
+          done)
+    in
+    Serve.Pool.shutdown pool;
+    float (cold_iters * n) /. s
+  in
+  let colds = List.map (fun j -> (j, cold j)) jobs_levels in
+  List.iter
+    (fun (j, v) ->
+      Printf.printf "  %-26s %12.0f requests/s\n"
+        (Printf.sprintf "cold, --jobs %d" j)
+        v;
+      record ~sec:"serve_scaling"
+        ~name:(Printf.sprintf "cold throughput jobs=%d" j)
+        ~unit:"requests/s" v)
+    colds;
+  (match (List.assoc_opt 1 colds, List.assoc_opt 4 colds) with
+  | Some c1, Some c4 when c1 > 0. ->
+    let sp = c4 /. c1 in
+    Printf.printf "  %-26s %12.2fx\n" "cold speedup jobs=4 vs 1" sp;
+    record ~sec:"serve_scaling" ~name:"cold speedup jobs=4 vs 1" ~unit:"x" sp
+  | _ -> ());
+  (* Warm path: every worker loops prepare+execute over the primed
+     service — pure name-memo + sharded-cache traffic, the regime the
+     per-shard locks exist for. *)
+  let service = Serve.Service.create () in
+  ignore (Serve.Batch.run_lines service ~jobs:1 lines);
+  let reqs =
+    List.filter_map
+      (fun l ->
+        match Serve.Protocol.request_of_line l with
+        | Ok r -> Some r
+        | Error _ -> None)
+      lines
+  in
+  let per_worker = 1000 in
+  let warm_lookups jobs =
+    let pool = Serve.Pool.create ~jobs () in
+    let s =
+      time (fun () ->
+          let futs =
+            List.init jobs (fun _ ->
+                Serve.Pool.submit pool (fun () ->
+                    for _ = 1 to per_worker do
+                      List.iter
+                        (fun r ->
+                          match Serve.Service.prepare service r with
+                          | Ok p -> ignore (Serve.Service.execute service p)
+                          | Error _ -> ())
+                        reqs
+                    done))
+          in
+          List.iter (fun f -> ignore (Serve.Pool.await f)) futs)
+    in
+    Serve.Pool.shutdown pool;
+    float (jobs * per_worker * List.length reqs) /. s
+  in
+  List.iter
+    (fun j ->
+      let v = warm_lookups j in
+      Printf.printf "  %-26s %12.0f lookups/s\n"
+        (Printf.sprintf "warm, %d workers" j)
+        v;
+      record ~sec:"serve_scaling"
+        ~name:(Printf.sprintf "warm lookups jobs=%d" j)
+        ~unit:"lookups/s" v)
+    jobs_levels
+
 (* Every registered engine over the whole benchmark suite: control
    steps per design plus the engine's total wall clock, and a race row
    (the default portfolio on the worker pool). The recorded rows land
@@ -1074,6 +1180,7 @@ let sections =
     ("vliw", ablation_vliw);
     ("refine", refinement_loop);
     ("serve", service_throughput);
+    ("serve_scaling", service_scaling);
     ("portfolio", portfolio);
     ("bechamel", bechamel_timings);
   ]

@@ -733,8 +733,15 @@ let selfcheck_cmd =
 (* --- batch / serve -------------------------------------------------- *)
 
 let jobs_arg =
-  let doc = "Worker threads for the scheduling pool." in
-  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  let doc =
+    "Workers for the scheduling pool (domains on OCaml 5, threads on 4.14). \
+     Defaults to the detected core count; set explicitly to pin the \
+     parallelism. Batch output is byte-identical for any value."
+  in
+  Arg.(
+    value
+    & opt int (Serve.Pool.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
 let cache_size_arg =
   let doc = "Result-cache capacity (LRU entries)." in
@@ -820,10 +827,12 @@ let dump_metrics service metrics path =
     ^ "\n");
   write_atomic (path ^ ".prom") (Serve.Metrics.to_prometheus ~cache metrics)
 
-let run_serve socket jobs max_connections cache_size cache_file metrics_file
-    metrics_interval slow_ms slow_log tel =
+let run_serve socket tcp jobs max_connections cache_size cache_file
+    metrics_file metrics_interval slow_ms slow_log tel =
   term_of_failure @@ fun () ->
   if jobs <= 0 then failwith "--jobs must be positive";
+  if socket = None && tcp = None then
+    failwith "need --socket PATH, --tcp HOST:PORT, or both";
   if cache_size <= 0 then failwith "--cache-size must be positive";
   if max_connections <= 0 then failwith "--max-connections must be positive";
   if metrics_interval <= 0.0 then failwith "--metrics-interval must be positive";
@@ -846,7 +855,9 @@ let run_serve socket jobs max_connections cache_size cache_file metrics_file
   in
   Tel_cli.run ~log:stderr tel ~vertex:numeric_vertex ~tracks_of:(fun _ -> [])
     (fun () ->
-      let daemon = Serve.Daemon.start service ~socket ~jobs ~max_connections () in
+      let daemon =
+        Serve.Daemon.start service ?socket ?tcp ~jobs ~max_connections ()
+      in
       (* The handler only raises a flag; the main thread notices it between
          naps and runs the actual drain — signal-handler-safe by
          construction. *)
@@ -854,9 +865,17 @@ let run_serve socket jobs max_connections cache_size cache_file metrics_file
       let request_stop _ = stop_requested := true in
       Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
       Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+      let endpoints =
+        (match socket with Some p -> [ p ] | None -> [])
+        @
+        match (tcp, Serve.Daemon.tcp_port daemon) with
+        | Some (host, _), Some port -> [ Printf.sprintf "%s:%d" host port ]
+        | _ -> []
+      in
       Printf.eprintf
-        "softsched serve: listening on %s (%d jobs, %d connections)\n%!" socket
-        jobs max_connections;
+        "softsched serve: listening on %s (%d jobs via %s, %d connections)\n%!"
+        (String.concat " and " endpoints)
+        jobs Serve.Pool.backend max_connections;
       let last_dump = ref (Unix.gettimeofday ()) in
       while not !stop_requested do
         Thread.delay 0.1;
@@ -886,10 +905,40 @@ let run_serve socket jobs max_connections cache_size cache_file metrics_file
 
 let socket_arg =
   Arg.(
-    required
+    value
     & opt (some string) None
     & info [ "socket" ] ~docv:"PATH"
         ~doc:"Unix-domain socket to listen on (stale files are replaced).")
+
+(* HOST:PORT for the TCP transport; the split is on the last ':' so a
+   numeric IPv6 host would need brackets stripped upstream — the
+   daemon resolves names via gethostbyname. *)
+let parse_host_port s =
+  match String.rindex_opt s ':' with
+  | None -> Error (Printf.sprintf "bad HOST:PORT %S" s)
+  | Some i -> (
+    let host = String.sub s 0 i in
+    let port = String.sub s (i + 1) (String.length s - i - 1) in
+    match int_of_string_opt port with
+    | Some p when p >= 0 && p <= 65535 ->
+      Ok ((if host = "" then "127.0.0.1" else host), p)
+    | Some _ | None -> Error (Printf.sprintf "bad port in %S" s))
+
+let host_port_conv =
+  let parse s =
+    match parse_host_port s with Ok v -> Ok v | Error m -> Error (`Msg m)
+  in
+  let print ppf (h, p) = Format.fprintf ppf "%s:%d" h p in
+  Arg.conv (parse, print)
+
+let tcp_arg =
+  Arg.(
+    value
+    & opt (some host_port_conv) None
+    & info [ "tcp" ] ~docv:"HOST:PORT"
+        ~doc:
+          "TCP endpoint to listen on, alongside (or instead of) --socket. \
+           Port 0 binds an ephemeral port.")
 
 let serve_cmd =
   let max_connections =
@@ -938,28 +987,49 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Run the scheduling daemon on a Unix-domain socket, speaking the \
-          same NDJSON protocol as batch (one request line, one response \
-          line). A {\"admin\":\"stats\"} request line answers with a live \
-          metrics snapshot (see the stats subcommand). SIGTERM/SIGINT \
-          drain: in-flight requests complete and are answered before exit.")
+         "Run the scheduling daemon on a Unix-domain socket (--socket) \
+          and/or TCP (--tcp HOST:PORT), speaking the same NDJSON protocol \
+          as batch (one request line, one response line). A \
+          {\"admin\":\"stats\"} request line answers with a live metrics \
+          snapshot (see the stats subcommand). SIGTERM/SIGINT drain: \
+          in-flight requests complete and are answered before exit.")
     Term.(
       ret
-        (const run_serve $ socket_arg $ jobs_arg $ max_connections
+        (const run_serve $ socket_arg $ tcp_arg $ jobs_arg $ max_connections
         $ cache_size_arg $ cache_file_arg $ metrics_file $ metrics_interval
         $ slow_ms $ slow_log $ Tel_cli.term))
 
 (* --- stats: one-shot metrics client --------------------------------- *)
 
-let run_stats socket raw =
+let run_stats socket tcp raw =
   term_of_failure @@ fun () ->
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (match Unix.connect fd (Unix.ADDR_UNIX socket) with
+  let target, fd =
+    match (socket, tcp) with
+    | Some _, Some _ -> failwith "--socket and --tcp are mutually exclusive"
+    | None, None -> failwith "need --socket PATH or --tcp HOST:PORT"
+    | Some path, None ->
+      (path, (Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0, Unix.ADDR_UNIX path))
+    | None, Some (host, port) ->
+      let addr =
+        match Unix.inet_addr_of_string host with
+        | a -> a
+        | exception Failure _ -> (
+          match Unix.gethostbyname host with
+          | h -> h.Unix.h_addr_list.(0)
+          | exception Not_found ->
+            failwith (Printf.sprintf "cannot resolve %s" host))
+      in
+      let sa = Unix.ADDR_INET (addr, port) in
+      ( Printf.sprintf "%s:%d" host port,
+        (Unix.socket (Unix.domain_of_sockaddr sa) Unix.SOCK_STREAM 0, sa) )
+  in
+  let fd, sockaddr = fd in
+  (match Unix.connect fd sockaddr with
   | () -> ()
   | exception Unix.Unix_error (e, _, _) ->
     (try Unix.close fd with Unix.Unix_error _ -> ());
     failwith
-      (Printf.sprintf "cannot connect to %s: %s" socket (Unix.error_message e)));
+      (Printf.sprintf "cannot connect to %s: %s" target (Unix.error_message e)));
   let ic = Unix.in_channel_of_descr fd in
   let oc = Unix.out_channel_of_descr fd in
   let reply =
@@ -996,9 +1066,10 @@ let stats_cmd =
        ~doc:
          "Ask a running softsched serve daemon for its metrics snapshot \
           (latency histograms per request phase, cache hit/miss counters, \
-          pool and connection gauges) over its Unix socket. Exits nonzero \
-          if the daemon is unreachable or the reply is not a stats object.")
-    Term.(ret (const run_stats $ socket_arg $ raw))
+          pool and connection gauges) over its Unix socket (--socket) or \
+          TCP endpoint (--tcp HOST:PORT). Exits nonzero if the daemon is \
+          unreachable or the reply is not a stats object.")
+    Term.(ret (const run_stats $ socket_arg $ tcp_arg $ raw))
 
 (* --- main ---------------------------------------------------------- *)
 

@@ -39,7 +39,7 @@ type item =
   | Follower of { prepared : Service.prepared; leader : int }
       (* index into the items array *)
 
-let run_lines service ~jobs lines =
+let run_lines ?pool service ~jobs lines =
   if jobs <= 0 then invalid_arg "Batch.run_lines: non-positive jobs";
   let t0 = Unix.gettimeofday () in
   let metrics = Service.metrics service in
@@ -113,19 +113,26 @@ let run_lines service ~jobs lines =
     (match !cold with
     | [] -> ()
     | cold ->
-      let pool = Pool.create ~jobs () in
+      (* A caller-supplied pool (the daemon's, or the bench harness's
+         persistent one) is borrowed, not drained; a private pool is
+         created and shut down here as before. *)
+      let p, owned =
+        match pool with
+        | Some p -> (p, false)
+        | None -> (Pool.create ~jobs (), true)
+      in
       let futs =
         List.rev_map
           (fun (i, prepared, sp) ->
             let enqueued = now () in
             ( i,
-              Pool.submit pool (fun () ->
+              Pool.submit p (fun () ->
                   sp.Metrics.queue_ns <- now () - enqueued;
                   run_one ~span:sp prepared) ))
           cold
       in
       List.iter (fun (i, fut) -> outcomes.(i) <- Some (Pool.await fut)) futs;
-      Pool.shutdown pool);
+      if owned then Pool.shutdown p);
     Array.map (function Some r -> r | None -> assert false) outcomes
   in
   (* Pass 3, sequential: render responses in input order, timing the

@@ -16,8 +16,13 @@ type stats = {
   wall_s : float;
 }
 
-val run_lines : Service.t -> jobs:int -> string list -> string list * stats
-(** @raise Invalid_argument on non-positive [jobs]. *)
+val run_lines :
+  ?pool:Pool.t -> Service.t -> jobs:int -> string list -> string list * stats
+(** [pool] lends an existing worker pool for the cold fan-out (it is
+    not shut down afterwards); by default a private [jobs]-wide pool is
+    created and drained per call. The response bytes are identical
+    either way.
+    @raise Invalid_argument on non-positive [jobs]. *)
 
 val run_channels : Service.t -> jobs:int -> in_channel -> out_channel -> stats
 (** Read all request lines from [ic], write response lines to [oc]

@@ -1,28 +1,45 @@
-(* Thread-safe LRU memo of fingerprint key -> schedule result.
+(* Sharded, thread-safe LRU memo of fingerprint key -> schedule result.
 
-   Hashtbl for O(1) lookup plus an intrusive doubly-linked list for
-   O(1) recency maintenance; every public operation holds the one
-   mutex, so the cache is safe under the worker pool. Hit/miss/evict
-   traffic is counted locally (for the service's own summary) and
-   mirrored to the telemetry stream when a sink is installed, landing
-   in [Telemetry.Counters] next to the scheduler's counters. *)
+   The table is split into a power-of-two number of shards selected by
+   the key's leading hash digits; each shard is a Hashtbl plus an
+   intrusive doubly-linked recency list behind its own mutex, so warm
+   lookups for different keys no longer serialize on one global lock.
+
+   Recency is global, not per-shard: every touch stamps the node from
+   one atomic tick clock, and eviction removes the minimum-tick node
+   across all shards. Observable behaviour (which entry an over-
+   capacity add evicts, the fold_mru order, the persistence format) is
+   therefore identical to the old single-mutex cache — the QCheck
+   oracle in test_serve holds the sharded cache to exactly that.
+
+   Hit/miss/evict traffic is counted per shard (summed by [stats],
+   which takes every shard lock for one consistent snapshot) and
+   mirrored to the telemetry stream when a sink is installed. *)
 
 type 'a node = {
   key : string;
   value : 'a;
   mutable prev : 'a node option;  (* towards most-recently-used *)
   mutable next : 'a node option;  (* towards least-recently-used *)
+  mutable tick : int;  (* global recency stamp; higher = more recent *)
 }
 
-type 'a t = {
+type 'a shard = {
   lock : Mutex.t;
   table : (string, 'a node) Hashtbl.t;
-  capacity : int;
   mutable mru : 'a node option;
   mutable lru : 'a node option;
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+}
+
+type 'a t = {
+  shards : 'a shard array;
+  mask : int;
+  capacity : int;  (* global, not per shard *)
+  clock : int Atomic.t;
+  size : int Atomic.t;  (* total entries across shards *)
 }
 
 type stats = {
@@ -31,100 +48,212 @@ type stats = {
   hits : int;
   misses : int;
   evictions : int;
+  shards : int;
 }
 
-let create ~capacity =
+let rec pow2_at_least n k = if k >= n then k else pow2_at_least n (k * 2)
+
+let create ?(shards = 16) ~capacity () =
   if capacity <= 0 then invalid_arg "Cache.create: non-positive capacity";
+  if shards <= 0 then invalid_arg "Cache.create: non-positive shards";
+  let n = pow2_at_least shards 1 in
+  let mk () =
+    {
+      lock = Mutex.create ();
+      table = Hashtbl.create (min (max 16 (capacity / n)) 1024);
+      mru = None;
+      lru = None;
+      hits = 0;
+      misses = 0;
+      evictions = 0;
+    }
+  in
   {
-    lock = Mutex.create ();
-    table = Hashtbl.create (min capacity 1024);
+    shards = Array.init n (fun _ -> mk ());
+    mask = n - 1;
     capacity;
-    mru = None;
-    lru = None;
-    hits = 0;
-    misses = 0;
-    evictions = 0;
+    clock = Atomic.make 0;
+    size = Atomic.make 0;
   }
 
-let with_lock c f =
-  Mutex.lock c.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock c.lock) f
+let with_lock (s : 'a shard) f =
+  Mutex.lock s.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock s.lock) f
 
 let tell op key =
   if Telemetry.enabled () then
     Telemetry.emit (fun s -> s.Telemetry.Sink.cache_event ~op ~key)
 
-(* -- intrusive list maintenance (lock held) -------------------------- *)
+(* Shard selection by hash prefix: fingerprint keys open with hex
+   digits (the fingerprint itself), which are already uniformly
+   distributed — read up to eight of them. Keys that don't look like a
+   fingerprint fall back to Hashtbl.hash. *)
+let shard_of (t : 'a t) key =
+  let n = String.length key in
+  let limit = if n < 8 then n else 8 in
+  let rec hex acc i =
+    if i >= limit then (i, acc)
+    else
+      match key.[i] with
+      | '0' .. '9' as c -> hex ((acc lsl 4) lor (Char.code c - 48)) (i + 1)
+      | 'a' .. 'f' as c -> hex ((acc lsl 4) lor (Char.code c - 87)) (i + 1)
+      | _ -> (i, acc)
+  in
+  let used, h = hex 0 0 in
+  let h = if used = 0 then Hashtbl.hash key else h in
+  t.shards.(h land t.mask)
 
-let unlink c n =
-  (match n.prev with Some p -> p.next <- n.next | None -> c.mru <- n.next);
-  (match n.next with Some s -> s.prev <- n.prev | None -> c.lru <- n.prev);
+let stamp (t : 'a t) n = n.tick <- Atomic.fetch_and_add t.clock 1
+
+(* -- intrusive list maintenance (shard lock held) -------------------- *)
+
+let unlink (s : 'a shard) n =
+  (match n.prev with Some p -> p.next <- n.next | None -> s.mru <- n.next);
+  (match n.next with Some x -> x.prev <- n.prev | None -> s.lru <- n.prev);
   n.prev <- None;
   n.next <- None
 
-let push_front c n =
-  n.next <- c.mru;
+let push_front (s : 'a shard) n =
+  n.next <- s.mru;
   n.prev <- None;
-  (match c.mru with Some m -> m.prev <- Some n | None -> c.lru <- Some n);
-  c.mru <- Some n
+  (match s.mru with Some m -> m.prev <- Some n | None -> s.lru <- Some n);
+  s.mru <- Some n
 
-let evict_excess c =
-  while Hashtbl.length c.table > c.capacity do
-    match c.lru with
-    | None -> assert false
-    | Some n ->
-      unlink c n;
-      Hashtbl.remove c.table n.key;
-      c.evictions <- c.evictions + 1;
-      tell `Evict n.key
-  done
+(* Evict the globally-least-recent entry: find the shard whose cold
+   tail has the minimum tick (peeking each tail under its lock), then
+   re-lock that shard and evict — verifying the tail is still the one
+   we saw, since a concurrent find may have refreshed it. Retries on a
+   lost race; converges because every retry either evicts or observes
+   the clock having moved past the stale candidate. *)
+let evict_one (t : 'a t) =
+  let rec attempt () =
+    if Atomic.get t.size <= t.capacity then ()
+    else begin
+      let best = ref None in
+      Array.iter
+        (fun s ->
+          with_lock s (fun () ->
+              match s.lru with
+              | None -> ()
+              | Some n -> (
+                match !best with
+                | Some (_, tick) when tick <= n.tick -> ()
+                | _ -> best := Some (s, n.tick))))
+        t.shards;
+      match !best with
+      | None -> ()
+      | Some (s, tick) ->
+        let evicted =
+          with_lock s (fun () ->
+              match s.lru with
+              | Some n when n.tick = tick ->
+                unlink s n;
+                Hashtbl.remove s.table n.key;
+                s.evictions <- s.evictions + 1;
+                Atomic.decr t.size;
+                Some n.key
+              | Some _ | None -> None)
+        in
+        (match evicted with
+        | Some key ->
+          tell `Evict key;
+          attempt ()  (* keep going while still over capacity *)
+        | None -> attempt ())
+    end
+  in
+  attempt ()
 
 (* -- public operations ----------------------------------------------- *)
 
-let find c key =
-  with_lock c (fun () ->
-      match Hashtbl.find_opt c.table key with
-      | Some n ->
-        unlink c n;
-        push_front c n;
-        c.hits <- c.hits + 1;
-        tell `Hit key;
-        Some n.value
-      | None ->
-        c.misses <- c.misses + 1;
-        tell `Miss key;
-        None)
+let find (t : 'a t) key =
+  let s = shard_of t key in
+  let hit =
+    with_lock s (fun () ->
+        match Hashtbl.find_opt s.table key with
+        | Some n ->
+          unlink s n;
+          stamp t n;
+          push_front s n;
+          s.hits <- s.hits + 1;
+          Some n.value
+        | None ->
+          s.misses <- s.misses + 1;
+          None)
+  in
+  (match hit with Some _ -> tell `Hit key | None -> tell `Miss key);
+  hit
 
-let add c key value =
-  with_lock c (fun () ->
-      (match Hashtbl.find_opt c.table key with
-      | Some old -> unlink c old; Hashtbl.remove c.table old.key
+let add (t : 'a t) key value =
+  let s = shard_of t key in
+  with_lock s (fun () ->
+      (match Hashtbl.find_opt s.table key with
+      | Some old ->
+        unlink s old;
+        Hashtbl.remove s.table old.key;
+        Atomic.decr t.size
       | None -> ());
-      let n = { key; value; prev = None; next = None } in
-      Hashtbl.replace c.table key n;
-      push_front c n;
-      evict_excess c)
+      let n = { key; value; prev = None; next = None; tick = 0 } in
+      stamp t n;
+      Hashtbl.replace s.table key n;
+      push_front s n;
+      Atomic.incr t.size);
+  if Atomic.get t.size > t.capacity then evict_one t
 
-let mem c key = with_lock c (fun () -> Hashtbl.mem c.table key)
-let length c = with_lock c (fun () -> Hashtbl.length c.table)
+let mem (t : 'a t) key =
+  let s = shard_of t key in
+  with_lock s (fun () -> Hashtbl.mem s.table key)
 
-let stats c =
-  with_lock c (fun () ->
+let length (t : 'a t) = Atomic.get t.size
+
+(* One consistent snapshot: hold every shard lock at once (in index
+   order, so concurrent stats calls cannot deadlock) while reading the
+   counters — a field-by-field read without the locks could pair a hit
+   count from before an eviction with a length from after it. *)
+let stats (t : 'a t) =
+  Array.iter (fun s -> Mutex.lock s.lock) t.shards;
+  Fun.protect
+    ~finally:(fun () -> Array.iter (fun s -> Mutex.unlock s.lock) t.shards)
+    (fun () ->
+      let length = ref 0
+      and hits = ref 0
+      and misses = ref 0
+      and evictions = ref 0 in
+      Array.iter
+        (fun s ->
+          length := !length + Hashtbl.length s.table;
+          hits := !hits + s.hits;
+          misses := !misses + s.misses;
+          evictions := !evictions + s.evictions)
+        t.shards;
       {
-        length = Hashtbl.length c.table;
-        capacity = c.capacity;
-        hits = c.hits;
-        misses = c.misses;
-        evictions = c.evictions;
+        length = !length;
+        capacity = t.capacity;
+        hits = !hits;
+        misses = !misses;
+        evictions = !evictions;
+        shards = Array.length t.shards;
       })
 
 (* Most-recent-first key walk, for the persistence layer and the tests
    (the order *is* the recency order, so saving and reloading preserves
-   which entries an over-capacity load would evict). *)
-let fold_mru c f acc =
-  with_lock c (fun () ->
-      let rec walk acc = function
-        | None -> acc
-        | Some n -> walk (f acc n.key n.value) n.next
-      in
-      walk acc c.mru)
+   which entries an over-capacity load would evict). Each shard's list
+   is tick-descending by construction; merging on the tick restores the
+   global order. Collection holds one shard lock at a time — fine for
+   the persistence path, which runs after the pool has drained. *)
+let fold_mru (t : 'a t) f acc =
+  let entries = ref [] in
+  Array.iter
+    (fun s ->
+      with_lock s (fun () ->
+          let rec walk = function
+            | None -> ()
+            | Some n ->
+              entries := (n.tick, n.key, n.value) :: !entries;
+              walk n.next
+          in
+          walk s.mru))
+    t.shards;
+  let sorted =
+    List.sort (fun (a, _, _) (b, _, _) -> compare b a) !entries
+  in
+  List.fold_left (fun acc (_, k, v) -> f acc k v) acc sorted

@@ -1,14 +1,18 @@
-(** Unix-domain-socket scheduling daemon.
+(** Event-driven scheduling daemon (Unix socket and/or TCP).
 
-    One accept thread, one thread per connection (bounded by
-    [max_connections]; excess connections get one ["server busy"] error
-    line and are closed), scheduling work routed through a shared
-    {!Pool}. The protocol is the NDJSON of {!Protocol}, one request
-    line → one response line, with per-request trace ids ([s-000001],
-    …).
+    A single [select]-based event loop owns every connection: per-client
+    read/write buffers, NDJSON line framing, and a FIFO of reply slots
+    so pipelined requests are answered strictly in request order.
+    Scheduling work is offered to a shared {!Pool} (domains on OCaml 5,
+    threads on 4.14) without ever blocking the loop — when the pool
+    queue is full the client gets an immediate ["server busy"] error
+    carrying a [retry_after_ms] back-off hint. Connections beyond
+    [max_connections] get the same busy line at accept and are closed.
+    The protocol is the NDJSON of {!Protocol}, one request line → one
+    response line, with per-request trace ids ([s-000001], …).
 
-    Shutdown ({!stop}) is a {e drain}: the listening socket closes,
-    blocked readers are unblocked, and every request already in flight
+    Shutdown ({!stop}) is a {e drain}: the listeners close, no further
+    requests are read, and every request already offered to the pool
     completes and gets its response before {!wait} returns. The CLI
     wires SIGTERM/SIGINT to {!stop}. *)
 
@@ -16,27 +20,33 @@ type t
 
 val start :
   Service.t ->
-  socket:string ->
+  ?socket:string ->
+  ?tcp:string * int ->
   jobs:int ->
   ?max_connections:int ->
   ?metrics:Metrics.t ->
   unit ->
   t
-(** Binds (replacing any stale socket file), listens, and spawns the
-    accept thread. [max_connections] defaults to 32. [metrics] defaults
-    to the service's plane (so the cache gauge and request histograms
-    share one snapshot), or a fresh one if the service has none.
-    @raise Unix.Unix_error if the socket cannot be bound. *)
+(** Binds the given transports ([socket] replaces any stale socket
+    file; [tcp] is [(host, port)], port [0] picks an ephemeral port —
+    see {!tcp_port}) and spawns the event loop. At least one transport
+    is required. [max_connections] defaults to 32 and is shared across
+    transports. [metrics] defaults to the service's plane (so the cache
+    gauge and request histograms share one snapshot), or a fresh one if
+    the service has none.
+    @raise Invalid_argument without any transport.
+    @raise Unix.Unix_error if a socket cannot be bound. *)
 
 val stop : t -> unit
 (** Begin the drain. Idempotent, safe from a signal handler's thread. *)
 
 val wait : t -> unit
-(** Join the accept thread, every connection thread and the pool, then
-    remove the socket file. Returns only once all in-flight requests
-    have been answered. *)
+(** Join the event loop and the pool, then remove the socket file.
+    Returns only once all in-flight requests have been answered. *)
 
-val socket_path : t -> string
+val socket_path : t -> string option
+val tcp_port : t -> int option
+(** The bound TCP port (useful with port [0]); [None] without [?tcp]. *)
 
 val metrics : t -> Metrics.t
 (** The daemon's metrics plane — the source of the [stats] admin reply

@@ -318,6 +318,7 @@ let snapshot_json ?cache t =
                   ("evictions", Json.int s.evictions);
                   ("entries", Json.int s.length);
                   ("capacity", Json.int s.capacity);
+                  ("shards", Json.int s.shards);
                 ] );
           ]
       in

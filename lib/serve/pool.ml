@@ -1,12 +1,14 @@
-(* Bounded work queue + Thread-based worker pool (OCaml 4.14-safe: no
-   Domain, just Thread/Mutex/Condition, so it runs identically on 4.14
-   and 5.x — concurrency for the I/O-bound daemon, plus parallelism
-   wherever the runtime provides it).
+(* Bounded work queue + worker pool over Pool_backend: Domains on
+   OCaml 5.x (true parallelism), Threads on 4.14 (concurrency under
+   the master lock). Mutex/Condition are domain-safe on 5.x, so the
+   queue discipline below is identical on both backends.
 
    Submission blocks while the queue is at capacity (backpressure
-   towards the batch reader / connection threads rather than unbounded
-   buffering). A future can be cancelled while still queued; a job that
-   already started always runs to completion — in-flight work is never
+   towards the batch reader rather than unbounded buffering); [offer]
+   is the non-blocking variant the daemon's event loop uses — an event
+   loop must never sleep on a queue slot, it replies "busy" instead. A
+   future can be cancelled while still queued; a job that already
+   started always runs to completion — in-flight work is never
    abandoned, which is what makes the daemon's SIGTERM drain exact. *)
 
 type 'a state =
@@ -29,9 +31,12 @@ type t = {
   not_full : Condition.t;
   queue : job Queue.t;
   queue_cap : int;
-  mutable workers : Thread.t list;
+  mutable workers : Pool_backend.handle list;
   mutable draining : bool;
 }
+
+let backend = Pool_backend.name
+let default_jobs = Pool_backend.default_jobs
 
 let with_lock m f =
   Mutex.lock m;
@@ -102,13 +107,15 @@ let create ?queue_cap ~jobs () =
       draining = false;
     }
   in
-  pool.workers <- List.init jobs (fun _ -> Thread.create worker pool);
+  pool.workers <-
+    List.init jobs (fun _ -> Pool_backend.spawn (fun () -> worker pool));
   pool
 
+let fresh_future f =
+  { flock = Mutex.create (); fcond = Condition.create (); state = Queued f }
+
 let try_submit pool f =
-  let fut =
-    { flock = Mutex.create (); fcond = Condition.create (); state = Queued f }
-  in
+  let fut = fresh_future f in
   with_lock pool.lock (fun () ->
       let rec wait () =
         if pool.draining then None
@@ -128,6 +135,20 @@ let submit pool f =
   match try_submit pool f with
   | Some fut -> fut
   | None -> invalid_arg "Pool.submit: pool is draining"
+
+(* Non-blocking admission decision for the event loop: a full queue is
+   an answer (reply busy with a back-off hint), not a reason to park
+   the thread that owns every connection. *)
+let offer pool f =
+  let fut = fresh_future f in
+  with_lock pool.lock (fun () ->
+      if pool.draining then `Draining
+      else if Queue.length pool.queue >= pool.queue_cap then `Full
+      else begin
+        Queue.push (Job fut) pool.queue;
+        Condition.signal pool.not_empty;
+        `Future fut
+      end)
 
 (* Observability sample for the metrics plane's queue-depth gauge; the
    value is stale the moment the lock drops, which is fine for a
@@ -156,11 +177,19 @@ let cancel fut =
       | Running | Done _ | Cancelled -> false)
 
 (* Stop accepting work, let the workers finish everything already
-   queued, and join them. Idempotent (joining a joined thread returns
-   immediately). *)
+   queued, and join them. Idempotent (joining a joined worker returns
+   immediately on the threads backend; the domains backend joins each
+   handle exactly once because shutdown runs under the caller's
+   discipline of calling it once — the daemon and batch both do). *)
 let shutdown pool =
   with_lock pool.lock (fun () ->
       pool.draining <- true;
       Condition.broadcast pool.not_empty;
       Condition.broadcast pool.not_full);
-  List.iter Thread.join pool.workers
+  let workers =
+    with_lock pool.lock (fun () ->
+        let w = pool.workers in
+        pool.workers <- [];
+        w)
+  in
+  List.iter Pool_backend.join workers

@@ -1,16 +1,29 @@
-(** Bounded work queue + [Thread]-based worker pool (OCaml 4.14-safe).
+(** Bounded work queue + worker pool, parallel on OCaml 5.
+
+    Workers are spawned through {!module:Pool_backend}: one [Domain]
+    each on 5.x (true parallelism), one [Thread] each on 4.14 (the
+    GIL-bound fallback). {!backend} names the compiled-in choice.
 
     [submit] enqueues a thunk and returns a future; it {e blocks} while
     the queue is at capacity, pushing backpressure to the producer
-    instead of buffering without bound. Queued work can be cancelled;
-    running work always completes — that guarantee is what makes the
-    daemon's SIGTERM drain exact. *)
+    instead of buffering without bound. {!offer} is the non-blocking
+    variant for event loops. Queued work can be cancelled; running work
+    always completes — that guarantee is what makes the daemon's
+    SIGTERM drain exact. *)
 
 type t
 type 'a future
 
+val backend : string
+(** ["domains"] on OCaml 5.x, ["threads"] on 4.14. *)
+
+val default_jobs : unit -> int
+(** Detected core count (≥ 1): [Domain.recommended_domain_count] on
+    5.x, [/proc/cpuinfo] / [getconf] on 4.14 — the CLI's default for
+    [--jobs]. *)
+
 val create : ?queue_cap:int -> jobs:int -> unit -> t
-(** [jobs] worker threads; [queue_cap] defaults to [4 * jobs].
+(** [jobs] workers; [queue_cap] defaults to [4 * jobs].
     @raise Invalid_argument on non-positive sizes. *)
 
 val submit : t -> (unit -> 'a) -> 'a future
@@ -20,6 +33,12 @@ val submit : t -> (unit -> 'a) -> 'a future
 val try_submit : t -> (unit -> 'a) -> 'a future option
 (** Like {!submit} but returns [None] instead of raising when the pool
     is draining (the daemon's "shutting down" reply path). *)
+
+val offer : t -> (unit -> 'a) -> [ `Draining | `Full | `Future of 'a future ]
+(** Non-blocking {!submit}: [`Full] when the queue is at capacity
+    (the event loop turns that into a busy reply with a
+    [retry_after_ms] hint) and [`Draining] during shutdown. Never
+    blocks. *)
 
 val await : 'a future -> ('a, exn) result
 (** Blocks until the job ran (or was cancelled — that surfaces as

@@ -1,0 +1,11 @@
+(* OCaml 5.x pool backend: one Domain per worker. Domains execute in
+   parallel (no master lock), which is what lets the scheduler kernel
+   use every core. Copied to pool_backend.ml by a dune rule gated on
+   ocaml_version >= 5.0.0. *)
+
+type handle = unit Domain.t
+
+let spawn f = Domain.spawn f
+let join = Domain.join
+let name = "domains"
+let default_jobs () = max 1 (Domain.recommended_domain_count ())

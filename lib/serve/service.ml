@@ -43,10 +43,18 @@ let core o ~want_schedule =
 let line ?id ~trace ~cached ~want_schedule o =
   Protocol.ok_line_with_core ?id ~trace ~cached (core o ~want_schedule)
 
+(* The name-memo is copy-on-write: readers grab the current snapshot
+   from the Atomic and look it up lock-free (a published table is never
+   mutated again), writers clone-and-replace under [memo_lock]. The
+   memo is tiny (one entry per registry design × effort) and writes
+   stop once the working set is warm, so cloning is cheap and the warm
+   prepare path — the per-request hot path under domains — takes no
+   lock at all. *)
 type t = {
   cache : outcome Cache.t;
   memo_lock : Mutex.t;
-  name_memo : (string, string) Hashtbl.t;  (* "name|res|meta" -> cache key *)
+  name_memo : (string, string) Hashtbl.t Atomic.t;
+      (* "name|res|meta" -> cache key *)
   trace_lock : Mutex.t;
   mutable traces : int;
   metrics : Metrics.t option;
@@ -63,9 +71,9 @@ let create ?(cache_capacity = 256) ?metrics () =
   | Some m -> Metrics.set_cache_occupancy m ~entries:0 ~capacity:cache_capacity
   | None -> ());
   {
-    cache = Cache.create ~capacity:cache_capacity;
+    cache = Cache.create ~capacity:cache_capacity ();
     memo_lock = Mutex.create ();
-    name_memo = Hashtbl.create 64;
+    name_memo = Atomic.make (Hashtbl.create 64);
     trace_lock = Mutex.create ();
     traces = 0;
     metrics;
@@ -146,7 +154,7 @@ let prepare t (req : Protocol.request) =
   let memoised =
     match name_key with
     | None -> None
-    | Some nk -> with_lock t.memo_lock (fun () -> Hashtbl.find_opt t.name_memo nk)
+    | Some nk -> Hashtbl.find_opt (Atomic.get t.name_memo) nk
   in
   match memoised with
   | Some key when Cache.mem t.cache key -> Ok { req; key; graph = None }
@@ -159,7 +167,10 @@ let prepare t (req : Protocol.request) =
       in
       (match name_key with
       | Some nk ->
-        with_lock t.memo_lock (fun () -> Hashtbl.replace t.name_memo nk key)
+        with_lock t.memo_lock (fun () ->
+            let next = Hashtbl.copy (Atomic.get t.name_memo) in
+            Hashtbl.replace next nk key;
+            Atomic.set t.name_memo next)
       | None -> ());
       Ok { req; key; graph = Some g })
 

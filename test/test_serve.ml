@@ -143,7 +143,7 @@ let prop_edge_moves_hash =
 (* --- cache ----------------------------------------------------------- *)
 
 let test_cache_lru_eviction () =
-  let c = Cache.create ~capacity:2 in
+  let c = Cache.create ~capacity:2 () in
   check Alcotest.(option int) "miss on empty" None (Cache.find c "a");
   Cache.add c "a" 1;
   Cache.add c "b" 2;
@@ -164,7 +164,7 @@ let test_cache_lru_eviction () =
     (List.rev (Cache.fold_mru c (fun acc k _ -> k :: acc) []))
 
 let test_cache_replace () =
-  let c = Cache.create ~capacity:2 in
+  let c = Cache.create ~capacity:2 () in
   Cache.add c "a" 1;
   Cache.add c "a" 2;
   check Alcotest.int "no duplicate" 1 (Cache.length c);
@@ -177,7 +177,7 @@ let test_cache_replace () =
 let test_cache_telemetry_counters () =
   let counters = Telemetry.Counters.create () in
   Telemetry.with_sink (Telemetry.Counters.sink counters) (fun () ->
-      let c = Cache.create ~capacity:2 in
+      let c = Cache.create ~capacity:2 () in
       ignore (Cache.find c "a");
       Cache.add c "a" 1;
       ignore (Cache.find c "a");
@@ -195,6 +195,144 @@ let test_cache_telemetry_counters () =
   in
   check Alcotest.bool "no cache rows without traffic" false
     (List.mem_assoc "cache_hits" (Telemetry.Counters.to_alist empty))
+
+(* The sharded cache must be observably equivalent to a single LRU: a
+   pure reference model (mru-first assoc list) and the sharded cache
+   replay one random interleaved find/add trace and must agree on every
+   find result, every counter, and the final recency order — for any
+   shard count, any capacity, and keys both hex-prefixed (the shard
+   fast path) and not (the Hashtbl.hash fallback). *)
+module Lru_model = struct
+  type t = {
+    capacity : int;
+    mutable entries : (string * int) list;  (* mru first *)
+    mutable hits : int;
+    mutable misses : int;
+    mutable evictions : int;
+  }
+
+  let create capacity = { capacity; entries = []; hits = 0; misses = 0; evictions = 0 }
+
+  let find m k =
+    match List.assoc_opt k m.entries with
+    | Some v ->
+      m.hits <- m.hits + 1;
+      m.entries <- (k, v) :: List.remove_assoc k m.entries;
+      Some v
+    | None ->
+      m.misses <- m.misses + 1;
+      None
+
+  let add m k v =
+    m.entries <- (k, v) :: List.remove_assoc k m.entries;
+    if List.length m.entries > m.capacity then begin
+      m.entries <- List.filteri (fun i _ -> i < m.capacity) m.entries;
+      m.evictions <- m.evictions + 1
+    end
+end
+
+type cache_op = C_find of int | C_add of int * int
+
+let cache_trace_arb =
+  (* Keys mix fingerprint-shaped hex prefixes with arbitrary names so
+     both shard-selection paths are driven. *)
+  let keys =
+    [| "00aa11"; "1abc"; "2b"; "3cde99"; "deadbeef"; "key-five"; "zz!"; "ff01" |]
+  in
+  let op =
+    QCheck.Gen.(
+      int_range 0 2 >>= fun tag ->
+      int_range 0 (Array.length keys - 1) >>= fun k ->
+      if tag = 0 then return (C_find k)
+      else map (fun v -> C_add (k, v)) (int_range 0 99))
+  in
+  let print_ops (shards, cap, ops) =
+    Printf.sprintf "shards=%d cap=%d %s" shards cap
+      (String.concat ";"
+         (List.map
+            (function
+              | C_find k -> Printf.sprintf "find %s" keys.(k)
+              | C_add (k, v) -> Printf.sprintf "add %s=%d" keys.(k) v)
+            ops))
+  in
+  ( keys,
+    QCheck.make ~print:print_ops
+      QCheck.Gen.(
+        triple (oneofl [ 1; 2; 4; 8 ]) (int_range 1 5) (list_size (int_range 1 60) op)) )
+
+let prop_sharded_cache_oracle =
+  let keys, arb = cache_trace_arb in
+  QCheck.Test.make ~name:"sharded cache is observably a single LRU" ~count:300
+    arb (fun (shards, capacity, ops) ->
+      let c = Cache.create ~shards ~capacity () in
+      let m = Lru_model.create capacity in
+      List.iter
+        (function
+          | C_find k ->
+            let got = Cache.find c keys.(k) in
+            let want = Lru_model.find m keys.(k) in
+            if got <> want then
+              QCheck.Test.fail_reportf "find %s: cache %s, model %s" keys.(k)
+                (match got with Some v -> string_of_int v | None -> "miss")
+                (match want with Some v -> string_of_int v | None -> "miss")
+          | C_add (k, v) ->
+            Cache.add c keys.(k) v;
+            Lru_model.add m keys.(k) v)
+        ops;
+      let s = Cache.stats c in
+      if s.Cache.hits <> m.Lru_model.hits then
+        QCheck.Test.fail_reportf "hits: %d vs %d" s.Cache.hits m.Lru_model.hits;
+      if s.Cache.misses <> m.Lru_model.misses then
+        QCheck.Test.fail_reportf "misses: %d vs %d" s.Cache.misses
+          m.Lru_model.misses;
+      if s.Cache.evictions <> m.Lru_model.evictions then
+        QCheck.Test.fail_reportf "evictions: %d vs %d" s.Cache.evictions
+          m.Lru_model.evictions;
+      if s.Cache.length <> List.length m.Lru_model.entries then
+        QCheck.Test.fail_reportf "length: %d vs %d" s.Cache.length
+          (List.length m.Lru_model.entries);
+      let order = List.rev (Cache.fold_mru c (fun acc k _ -> k :: acc) []) in
+      let want_order = List.map fst m.Lru_model.entries in
+      if order <> want_order then
+        QCheck.Test.fail_reportf "recency order: [%s] vs [%s]"
+          (String.concat ";" order)
+          (String.concat ";" want_order);
+      true)
+
+(* [stats] under concurrent traffic: every snapshot must be internally
+   consistent — the touch count (hits+misses) can only grow between
+   snapshots, and the length can never exceed capacity by more than the
+   number of writers mid-add (insert and the global eviction are two
+   steps). *)
+let test_cache_stats_snapshot_under_load () =
+  let jobs = 4 in
+  let c = Cache.create ~shards:4 ~capacity:32 () in
+  let p = Pool.create ~jobs () in
+  let finds = 2000 and adds = 2000 in
+  let futs =
+    List.init jobs (fun w ->
+        Pool.submit p (fun () ->
+            for i = 0 to (finds + adds) / jobs do
+              let key = Printf.sprintf "%x" (((w * 7919) + i) mod 64) in
+              if i land 1 = 0 then ignore (Cache.find c key)
+              else Cache.add c key i
+            done))
+  in
+  let last = ref 0 in
+  for _ = 1 to 200 do
+    let s = Cache.stats c in
+    let touches = s.Cache.hits + s.Cache.misses in
+    check Alcotest.bool "touch count monotone" true (touches >= !last);
+    last := touches;
+    check Alcotest.bool "length bounded" true
+      (s.Cache.length >= 0 && s.Cache.length <= s.Cache.capacity + jobs)
+  done;
+  List.iter (fun f -> ignore (Pool.await f)) futs;
+  Pool.shutdown p;
+  let s = Cache.stats c in
+  check Alcotest.bool "settled under capacity" true
+    (s.Cache.length <= s.Cache.capacity);
+  check Alcotest.int "shards surfaced" 4 s.Cache.shards
 
 (* --- pool ------------------------------------------------------------ *)
 
@@ -254,6 +392,82 @@ let test_pool_cancel_and_drain () =
   | _ -> Alcotest.fail "queued job should have run during the drain");
   check Alcotest.bool "draining pool refuses work" true
     (Pool.try_submit p (fun () -> ()) = None)
+
+(* Hammer the pool from the outside while the workers (domains on 5.x)
+   chew through real compute: no future may be lost, every submitted
+   increment must land, and shutdown must run everything already
+   queued — drain exactness is what the daemon's SIGTERM relies on. *)
+let test_pool_parallel_hammer () =
+  let p = Pool.create ~jobs:4 ~queue_cap:64 () in
+  let hits = Atomic.make 0 in
+  let n = 300 in
+  let futs =
+    List.init n (fun i ->
+        Pool.submit p (fun () ->
+            (* a little real work so workers overlap *)
+            let acc = ref 0 in
+            for k = 1 to 1000 do
+              acc := !acc + ((i * k) mod 7)
+            done;
+            Atomic.incr hits;
+            !acc))
+  in
+  List.iteri
+    (fun i f ->
+      match Pool.await f with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "job %d lost: %s" i (Printexc.to_string e))
+    futs;
+  check Alcotest.int "every job ran exactly once" n (Atomic.get hits);
+  (* Drain exactness: submissions that beat the shutdown all complete. *)
+  let before = Atomic.make 0 in
+  let futs2 =
+    List.init 50 (fun _ -> Pool.submit p (fun () -> Atomic.incr before))
+  in
+  Pool.shutdown p;
+  check Alcotest.int "drain ran everything queued" 50 (Atomic.get before);
+  List.iter (fun f -> ignore (Pool.await f)) futs2
+
+let test_pool_offer_backpressure () =
+  let p = Pool.create ~jobs:1 ~queue_cap:1 () in
+  let gate = Mutex.create () in
+  let cond = Condition.create () in
+  let release = ref false in
+  let blocker =
+    Pool.submit p (fun () ->
+        Mutex.lock gate;
+        while not !release do
+          Condition.wait cond gate
+        done;
+        Mutex.unlock gate)
+  in
+  Thread.delay 0.05 (* let the worker claim the blocker *);
+  (* One queue slot: the first offer is admitted, the second bounces. *)
+  (match Pool.offer p (fun () -> ()) with
+  | `Future _ -> ()
+  | `Full | `Draining -> Alcotest.fail "first offer should be admitted");
+  (match Pool.offer p (fun () -> ()) with
+  | `Full -> ()
+  | `Future _ | `Draining -> Alcotest.fail "second offer should bounce Full");
+  Mutex.lock gate;
+  release := true;
+  Condition.broadcast cond;
+  Mutex.unlock gate;
+  ignore (Pool.await blocker);
+  Pool.shutdown p;
+  match Pool.offer p (fun () -> ()) with
+  | `Draining -> ()
+  | `Future _ | `Full -> Alcotest.fail "draining pool must answer Draining"
+
+let test_pool_backend_identity () =
+  let expected =
+    if String.length Sys.ocaml_version > 0 && Sys.ocaml_version.[0] >= '5' then
+      "domains"
+    else "threads"
+  in
+  check Alcotest.string "backend matches the compiler" expected Pool.backend;
+  check Alcotest.bool "default_jobs is at least one" true
+    (Pool.default_jobs () >= 1)
 
 (* --- protocol -------------------------------------------------------- *)
 
@@ -923,11 +1137,58 @@ let test_meta_of_name () =
   | None -> ()
   | Some _ -> Alcotest.fail "unknown meta must not resolve"
 
+(* --- daemon over TCP -------------------------------------------------- *)
+
+let connect_tcp port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  (fd, Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+
+(* The TCP transport speaks the same protocol as the Unix socket:
+   pipelined requests are answered in order (scheduling work and admin
+   stats interleaved), and a drain closes the connection after the
+   owed replies. Port 0 binds ephemerally; tcp_port reports it. *)
+let test_daemon_tcp_smoke () =
+  let metrics = Metrics.create () in
+  let service = Service.create ~metrics () in
+  let d = Daemon.start service ~tcp:("127.0.0.1", 0) ~jobs:2 () in
+  check Alcotest.bool "no unix socket" true (Daemon.socket_path d = None);
+  let port =
+    match Daemon.tcp_port d with
+    | Some p -> p
+    | None -> Alcotest.fail "tcp daemon must report its port"
+  in
+  check Alcotest.bool "ephemeral port bound" true (port > 0);
+  let fd, ic, oc = connect_tcp port in
+  (* Pipeline three lines in one write: replies must come back in
+     request order even though the admin probe is answered inline. *)
+  output_string oc
+    ({|{"id":"a","design":"HAL","schedule":false}|} ^ "\n"
+   ^ {|{"admin":"stats"}|} ^ "\n"
+   ^ {|{"id":"b","design":"HAL","schedule":false}|} ^ "\n");
+  flush oc;
+  let r1 = input_line ic in
+  let r2 = input_line ic in
+  let r3 = input_line ic in
+  check Alcotest.bool "first reply is request a" true (contains r1 {|"id":"a"|});
+  check Alcotest.bool "second reply is the stats probe" true
+    (contains r2 {|"stats":|});
+  check Alcotest.bool "third reply is request b" true (contains r3 {|"id":"b"|});
+  check Alcotest.bool "second HAL served from cache" true
+    (contains r3 {|"cached":true|});
+  Daemon.stop d;
+  (match input_line ic with
+  | exception End_of_file -> ()
+  | exception Sys_error _ -> ()
+  | l -> Alcotest.failf "expected EOF after drain, got %s" l);
+  Daemon.wait d;
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
 (* --------------------------------------------------------------------- *)
 
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_canonical_roundtrip; prop_edge_moves_hash ]
+    [ prop_canonical_roundtrip; prop_edge_moves_hash; prop_sharded_cache_oracle ]
 
 let () =
   Alcotest.run "serve"
@@ -946,6 +1207,8 @@ let () =
           Alcotest.test_case "replace" `Quick test_cache_replace;
           Alcotest.test_case "telemetry counters" `Quick
             test_cache_telemetry_counters;
+          Alcotest.test_case "stats snapshot under load" `Quick
+            test_cache_stats_snapshot_under_load;
         ] );
       ( "pool",
         [
@@ -954,6 +1217,11 @@ let () =
             test_pool_exception_captured;
           Alcotest.test_case "cancel and drain" `Quick
             test_pool_cancel_and_drain;
+          Alcotest.test_case "parallel hammer" `Quick test_pool_parallel_hammer;
+          Alcotest.test_case "offer backpressure" `Quick
+            test_pool_offer_backpressure;
+          Alcotest.test_case "backend identity" `Quick
+            test_pool_backend_identity;
         ] );
       ( "protocol",
         [
@@ -996,6 +1264,7 @@ let () =
             test_daemon_stats_admin;
           Alcotest.test_case "busy turn-away retry hint" `Quick
             test_daemon_busy_retry_hint;
+          Alcotest.test_case "tcp smoke" `Quick test_daemon_tcp_smoke;
         ] );
       ( "metrics",
         [
