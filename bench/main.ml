@@ -19,6 +19,7 @@
         Ablation F — pipelined multipliers
         Ablation G — register pressure across extraction policies
         Ablation H — meta-schedule search
+        Ablation K — loop pipelining: II vs resources on loop kernels
      9. Bechamel   — wall-clock timings of the headline algorithms *)
 
 module Graph = Dfg.Graph
@@ -1156,6 +1157,44 @@ let portfolio () =
   record ~sec:"portfolio" ~name:"race total wall" ~unit:"ms" (!total *. 1000.)
 
 (* ------------------------------------------------------------------ *)
+(* Ablation K: loop pipelining — II vs resources on the loop kernels   *)
+(* ------------------------------------------------------------------ *)
+
+(* The throughput counterpart of the resource sweep: for each loop
+   kernel and each Figure 3 configuration, the MII bounds, the achieved
+   initiation interval and the steady-state utilisation. The interesting
+   number is ii - mii (zero everywhere: the scheduler meets the bound)
+   and how II scales as multipliers are taken away. *)
+let ablation_modulo () =
+  section "Ablation K: loop pipelining (initiation interval vs resources)";
+  Printf.printf "  %-10s %-10s %7s %7s %5s %5s %6s %6s  %s\n" "kernel"
+    "config" "res_mii" "rec_mii" "mii" "ii" "span" "util" "fallback";
+  List.iter
+    (fun (e : Hls_bench.Suite.loop_entry) ->
+      List.iter
+        (fun (cname, resources) ->
+          let g = e.build_loop () in
+          match Modulo.Ims.run ~resources g with
+          | Error m -> failwith m
+          | Ok (ms, st) ->
+            let util = Modulo.Mschedule.steady_state_util ~resources ms in
+            Printf.printf "  %-10s %-10s %7d %7d %5d %5d %6d %6.3f  %s\n"
+              e.loop_name cname st.Modulo.Ims.res_mii st.Modulo.Ims.rec_mii
+              st.Modulo.Ims.mii st.Modulo.Ims.ii (Modulo.Mschedule.span ms)
+              util
+              (if st.Modulo.Ims.serial_fallback then "yes" else "no");
+            let key metric = Printf.sprintf "%s/%s %s" e.loop_name cname metric in
+            record ~sec:"modulo" ~name:(key "mii") ~unit:"cycles"
+              (float st.Modulo.Ims.mii);
+            record ~sec:"modulo" ~name:(key "ii") ~unit:"cycles"
+              (float st.Modulo.Ims.ii);
+            record ~sec:"modulo" ~name:(key "span") ~unit:"cycles"
+              (float (Modulo.Mschedule.span ms));
+            record ~sec:"modulo" ~name:(key "util") ~unit:"ratio" util)
+        R.fig3_all)
+    Hls_bench.Suite.loops
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1182,10 +1221,12 @@ let sections =
     ("serve", service_throughput);
     ("serve_scaling", service_scaling);
     ("portfolio", portfolio);
+    ("modulo", ablation_modulo);
     ("bechamel", bechamel_timings);
   ]
 
 let () =
+  Modulo.Engine.ensure_registered ();
   let json_file = ref "" in
   let only = ref [] in
   let list_sections () =

@@ -6,6 +6,7 @@
      dot        emit the dataflow graph (or its schedule) as Graphviz
      verilog    run the full HLS flow and emit RTL
      sim        schedule, bind and simulate with given input values
+     modulo     pipeline a loop kernel (MII bounds + II search)
      report     run the whole flow under QoR spans, emit a run-report
      diff       compare two run-reports, exit nonzero on regression
 
@@ -103,8 +104,8 @@ let scheduler_arg =
 let engine_arg =
   let doc =
     "Scheduling engine from the portfolio: soft, naive, search, anneal, \
-     list, fdls, force_directed or bnb (aliases: threaded, sa, exact, fds). \
-     Overrides $(b,--scheduler)."
+     list, fdls, force_directed, bnb or modulo (aliases: threaded, sa, \
+     exact, fds, ims, loop). Overrides $(b,--scheduler)."
   in
   Arg.(value & opt (some string) None & info [ "e"; "engine" ] ~docv:"ENGINE" ~doc)
 
@@ -1071,6 +1072,102 @@ let stats_cmd =
           unreachable or the reply is not a stats object.")
     Term.(ret (const run_stats $ socket_arg $ tcp_arg $ raw))
 
+(* --- modulo --------------------------------------------------------- *)
+
+let known_loops () =
+  String.concat ", "
+    (List.map
+       (fun (e : Hls_bench.Suite.loop_entry) -> e.loop_name)
+       Hls_bench.Suite.loops)
+
+let loop_of_spec spec =
+  match Hls_bench.Suite.find_loop spec with
+  | entry -> entry.Hls_bench.Suite.build_loop ()
+  | exception Not_found ->
+    if Sys.file_exists spec then
+      try Modulo.Serial.load spec
+      with Modulo.Serial.Parse_error m -> failwith (spec ^ ": " ^ m)
+    else
+      failwith
+        (Printf.sprintf
+           "unknown loop kernel %S: expected a kernel name (%s) or a path to \
+            a .ldfg file"
+           spec (known_loops ()))
+
+let run_modulo design resources budget unroll json_path =
+  term_of_failure @@ fun () ->
+  let g = loop_of_spec design in
+  (match Modulo.Ims.run ?budget ~resources g with
+  | Error m -> failwith m
+  | Ok (ms, stats) ->
+    Printf.printf "%s under %s: MII %d (res %d, rec %d) -> II %d%s\n" design
+      (Hard.Resources.to_string resources)
+      stats.Modulo.Ims.mii stats.Modulo.Ims.res_mii stats.Modulo.Ims.rec_mii
+      stats.Modulo.Ims.ii
+      (if stats.Modulo.Ims.serial_fallback then " (serial fallback)" else "");
+    Format.printf "%a@." Modulo.Mschedule.pp ms;
+    Printf.printf "steady-state utilisation %.3f, %d placements, %d evictions\n"
+      (Modulo.Mschedule.steady_state_util ~resources ms)
+      stats.Modulo.Ims.placements stats.Modulo.Ims.evictions;
+    (match unroll with
+    | Some iterations when iterations >= 1 ->
+      let flat = Modulo.Mschedule.unrolled ms ~iterations in
+      Printf.printf "\nunrolled x%d (%d control steps):\n%s" iterations
+        (Hard.Schedule.length flat)
+        (Hard.Schedule.gantt flat)
+    | Some _ -> failwith "--unroll needs at least 1 iteration"
+    | None -> ()));
+  match json_path with
+  | Some path ->
+    let report =
+      Qor.Loop_flow.run ?budget ~tool_version:Version.version ~resources
+        ~design
+        ~build:(fun () -> loop_of_spec design)
+        ()
+    in
+    (try Qor.Report.write ~path report with
+    | Sys_error m -> failwith (Printf.sprintf "cannot write report: %s" m));
+    Printf.printf "wrote %s\n" path
+  | None -> ()
+
+let modulo_cmd =
+  let budget =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget" ] ~docv:"N"
+          ~doc:
+            "Placement budget per candidate II (default 8 ops per vertex); \
+             when it runs out the search moves to the next II.")
+  in
+  let unroll =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "unroll" ] ~docv:"N"
+          ~doc:
+            "Also flatten $(docv) pipelined iterations and print the flat \
+             schedule's Gantt chart.")
+  in
+  let design =
+    let doc =
+      "Loop kernel: a name (FIR_LOOP, IIR_LOOP) or a path to a .ldfg file \
+       (lines: vertex <name> <op> [<delay>] / edge <src> <dst> [<distance>])."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"KERNEL" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "modulo"
+       ~doc:
+         "Pipeline a loop kernel: compute the MII bounds, search the \
+          initiation interval with the iterative modulo scheduler and print \
+          the steady-state schedule (--json writes the QoR run-report the CI \
+          gate diffs)")
+    Term.(
+      ret
+        (const run_modulo $ design $ resources_arg $ budget $ unroll
+       $ json_out_arg))
+
 (* --- main ---------------------------------------------------------- *)
 
 (* With SIGPIPE ignored, writing into a closed pipe surfaces as a
@@ -1083,6 +1180,7 @@ let is_broken_pipe m =
   at 0
 
 let () =
+  Modulo.Engine.ensure_registered ();
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ | Sys_error _ -> ());
   let doc = "soft (threaded) scheduling for high level synthesis" in
@@ -1090,8 +1188,8 @@ let () =
   let group =
     Cmd.group info
       [ schedule_cmd; table_cmd; dot_cmd; verilog_cmd; sim_cmd;
-        map_cmd; retime_cmd; vliw_cmd; selfcheck_cmd; report_cmd;
-        diff_cmd; batch_cmd; serve_cmd; stats_cmd ]
+        map_cmd; retime_cmd; vliw_cmd; modulo_cmd; selfcheck_cmd;
+        report_cmd; diff_cmd; batch_cmd; serve_cmd; stats_cmd ]
   in
   let code =
     try Cmd.eval ~catch:false group with

@@ -144,6 +144,7 @@ let of_string s =
     | "sa" | "annealing" -> "anneal"
     | "exact" | "bb" | "exhaustive" -> "bnb"
     | "fds" | "force" -> "force_directed"
+    | "ims" | "loop" -> "modulo"
     | other -> other
   in
   match find canonical with

@@ -121,7 +121,8 @@ val find : string -> engine option
 val of_string : string -> (engine, string) result
 (** The CLI/protocol spelling: canonical names plus the aliases
     [threaded]→[soft], [sa]/[annealing]→[anneal],
-    [exact]/[bb]/[exhaustive]→[bnb], [fds]/[force]→[force_directed].
+    [exact]/[bb]/[exhaustive]→[bnb], [fds]/[force]→[force_directed],
+    [ims]/[loop]→[modulo] (registered by [lib/modulo] at startup).
     The error names the known engines. *)
 
 (** {2 The shared threaded run} *)

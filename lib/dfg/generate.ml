@@ -115,6 +115,21 @@ let series_parallel rng ~size =
   let _ = build size in
   g
 
+let loop_body rng ~n ~edge_prob =
+  if n < 1 then invalid_arg "Generate.loop_body: size must be >= 1";
+  let g = Graph.create () in
+  let ids = Array.init n (fun _ -> Graph.add_vertex g (random_op rng)) in
+  for j = 1 to n - 1 do
+    (* every op reads at least one earlier op, like dataflow extracted
+       from a real loop nest — no disconnected islands *)
+    Graph.add_edge g ids.(Random.State.int rng j) ids.(j);
+    for i = 0 to j - 1 do
+      if Random.State.float rng 1.0 < edge_prob then
+        Graph.add_edge g ids.(i) ids.(j)
+    done
+  done;
+  g
+
 let expression_tree rng ~depth =
   let g = Graph.create () in
   let counter = ref 0 in

@@ -22,6 +22,12 @@ val fork_join : width:int -> Graph.t
 (** One source fanning out to [width] independent ops joined by a
     reduction tree — best case for parallelism. *)
 
+val loop_body : Random.State.t -> n:int -> edge_prob:float -> Graph.t
+(** Like {!random_dag}, but every vertex past the first draws at least
+    one predecessor among the earlier vertices — the connected shape of
+    a loop body. The substrate [lib/modulo]'s random loop kernels lift
+    to a cyclic graph by adding loop-carried recurrences. *)
+
 val expression_tree : Random.State.t -> depth:int -> Graph.t
 (** Random binary expression tree of the given depth (leaves are
     inputs). *)

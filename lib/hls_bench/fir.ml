@@ -46,6 +46,55 @@ let graph ?(taps = default_taps) () =
 let n_multiplications = default_taps
 let n_alu_ops = default_taps
 
+(* The same filter as a loop kernel: one iteration per sample, the tap
+   window expressed as loop-carried reads of the single [x] input
+   ([x[i-k]] = distance-k edge), and the running accumulation as a
+   distance-1 self loop. The only recurrence cycle is the accumulator
+   (1 cycle of delay over distance 1), so MII is purely resource-bound:
+   [taps] two-cycle multiplies. *)
+let loop ?(taps = default_taps) () =
+  if taps < 2 || taps mod 2 <> 0 then
+    invalid_arg "Fir.loop: taps must be even and at least 2";
+  let g = Loop_graph.create () in
+  let input name = Loop_graph.add_vertex g ~name (Op.Input name) in
+  let binop name op (l, dl) (r, dr) =
+    let v = Loop_graph.add_vertex g ~name op in
+    Loop_graph.add_edge g ~distance:dl l v;
+    Loop_graph.add_edge g ~distance:dr r v;
+    v
+  in
+  let x = input "x" in
+  let products =
+    List.init taps (fun k ->
+        let c = input (Printf.sprintf "c%d" k) in
+        binop (Printf.sprintf "m%d" k) Op.Mul (c, 0) (x, k))
+  in
+  let rec pairs acc = function
+    | a :: b :: rest ->
+      let p =
+        binop (Printf.sprintf "p%d" (List.length acc)) Op.Add (a, 0) (b, 0)
+      in
+      pairs (p :: acc) rest
+    | [] -> List.rev acc
+    | [ _ ] -> assert false
+  in
+  let sum =
+    match pairs [] products with
+    | [] -> assert false
+    | first :: rest ->
+      List.fold_left
+        (fun acc p ->
+          binop (Printf.sprintf "t%d" (Loop_graph.n_vertices g)) Op.Add (acc, 0)
+            (p, 0))
+        first rest
+  in
+  let acc = Loop_graph.add_vertex g ~name:"acc" Op.Add in
+  Loop_graph.add_edge g sum acc;
+  Loop_graph.add_edge g ~distance:1 acc acc;
+  let o = Loop_graph.add_vertex g ~name:"y" (Op.Output "y") in
+  Loop_graph.add_edge g acc o;
+  g
+
 let reference ~coeffs ~samples ~prev =
   if Array.length coeffs <> Array.length samples then
     invalid_arg "Fir.reference: length mismatch";

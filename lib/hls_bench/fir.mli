@@ -10,6 +10,15 @@ open Import
 val graph : ?taps:int -> unit -> Graph.t
 (** @raise Invalid_argument if [taps < 2] or odd. Default [taps = 8]. *)
 
+val loop : ?taps:int -> unit -> Modulo.Loop_graph.t
+(** The filter as a loop kernel, one iteration per sample: the tap
+    window [x[i-k]] becomes a distance-[k] read of the single [x]
+    input and the running accumulation a distance-1 self loop. The
+    accumulator is the only recurrence (RecMII 1), so MII is the
+    multiplier bound: [ceil (2 * taps / mul_units)] — 8 for the
+    default instance under the paper's 2-multiplier configurations.
+    @raise Invalid_argument if [taps < 2] or odd. *)
+
 val default_taps : int
 val n_multiplications : int
 (** For the default instance. *)

@@ -1,3 +1,4 @@
 module Graph = Dfg.Graph
 module Op = Dfg.Op
 module Paths = Dfg.Paths
+module Loop_graph = Modulo.Loop_graph

@@ -37,6 +37,21 @@ let find name =
   let target = String.lowercase_ascii name in
   List.find (fun e -> String.lowercase_ascii e.name = target) all
 
+type loop_entry = {
+  loop_name : string;
+  build_loop : unit -> Loop_graph.t;
+}
+
+let loops =
+  [
+    { loop_name = "FIR_LOOP"; build_loop = (fun () -> Fir.loop ()) };
+    { loop_name = "IIR_LOOP"; build_loop = (fun () -> Iir.loop ()) };
+  ]
+
+let find_loop name =
+  let target = String.lowercase_ascii name in
+  List.find (fun e -> String.lowercase_ascii e.loop_name = target) loops
+
 let operation_count g =
   Graph.fold_vertices
     (fun acc v ->

@@ -25,3 +25,20 @@ val find : string -> entry
 val operation_count : Graph.t -> int
 (** Number of real operations (excluding [Input]/[Const]/[Output]
     pseudo-vertices) — what the paper counts as |V|. *)
+
+(** {2 Loop kernels}
+
+    Cyclic variants for the modulo-scheduling subsystem: the same
+    datapaths with their inter-iteration state expressed as loop-carried
+    recurrences instead of inputs. *)
+
+type loop_entry = {
+  loop_name : string;  (** e.g. ["FIR_LOOP"] *)
+  build_loop : unit -> Loop_graph.t;
+}
+
+val loops : loop_entry list
+(** [FIR_LOOP] ({!Fir.loop}) and [IIR_LOOP] ({!Iir.loop}). *)
+
+val find_loop : string -> loop_entry
+(** Case-insensitive lookup. @raise Not_found. *)

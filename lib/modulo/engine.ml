@@ -1,0 +1,30 @@
+open Import
+
+module M = struct
+  let name = "modulo"
+
+  let about =
+    "iterative modulo scheduler: II search from MII with budgeted eviction"
+
+  let capabilities = [ Soft.Engine.Deterministic ]
+
+  let schedule (ctx : Soft.Engine.ctx) ~resources g =
+    let loop = Loop_graph.of_dag g in
+    match Ims.run ?budget:ctx.budget ~resources loop with
+    | Error m -> invalid_arg ("modulo engine: " ^ m)
+    | Ok (ms, _stats) ->
+      (* the one-iteration starts are a valid flat schedule: each
+         cycle's usage is a sub-multiset of its modulo slot's *)
+      ( Schedule.make g ~starts:(Array.init (Graph.n_vertices g) (Mschedule.start ms)),
+        { Soft.Engine.optimal = false; degraded = false; state = None } )
+end
+
+let engine : Soft.Engine.engine = (module M)
+
+let registered = ref false
+
+let ensure_registered () =
+  if not !registered then begin
+    registered := true;
+    Soft.Engine.register engine
+  end

@@ -1,0 +1,23 @@
+(** The [modulo] entry in the {!Soft.Engine} registry.
+
+    {!Soft.Engine.S} speaks precedence DAGs, so the engine treats its
+    input as a loop body whose iterations are independent (no carried
+    recurrences) and runs {!Ims} on it. The single-iteration start
+    times it returns are a valid flat schedule — per-cycle usage is a
+    sub-multiset of the modulo reservation slots, which fit by
+    construction — so the engine races, caches and serves like any
+    other. Its real value for a DAG is throughput-oriented packing;
+    kernels with genuine recurrences are exercised through the
+    {!Loop_graph} API, the CLI [modulo] command and the bench.
+
+    [ctx.budget] overrides the per-II placement budget. The engine is
+    deterministic and never claims optimality (it minimises II, not the
+    control-step count the race arbiter orders by). *)
+
+val engine : Soft.Engine.engine
+
+val ensure_registered : unit -> unit
+(** Idempotent {!Soft.Engine.register}. Called from the serving layer,
+    the CLI and the bench at startup; explicit because module
+    initialisers of otherwise-unreferenced libraries are dropped at
+    link time. *)

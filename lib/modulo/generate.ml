@@ -1,0 +1,20 @@
+open Import
+
+let random_kernel rng ~n ~edge_prob ~back_prob ~max_distance =
+  if max_distance < 1 then
+    invalid_arg "Generate.random_kernel: max_distance must be >= 1";
+  let body = Dfg.Generate.loop_body rng ~n ~edge_prob in
+  let carries = ref [] in
+  for u = 0 to n - 1 do
+    for v = 0 to u do
+      if Random.State.float rng 1.0 < back_prob then
+        let d = 1 + Random.State.int rng max_distance in
+        carries := (u, v, d) :: !carries
+    done
+  done;
+  Loop_graph.of_dag ~carries:(List.rev !carries) body
+
+let accumulator rng ~n ~edge_prob =
+  let body = Dfg.Generate.loop_body rng ~n ~edge_prob in
+  let last = Graph.n_vertices body - 1 in
+  Loop_graph.of_dag ~carries:[ (last, last, 1) ] body

@@ -1,0 +1,25 @@
+(** Random loop kernels for property tests and scaling benches.
+
+    Deterministic given the supplied [Random.State], like
+    {!Dfg.Generate}. Every result is well-formed by construction:
+    intra-iteration edges come from a DAG and every added recurrence
+    carries distance >= 1. *)
+
+val random_kernel :
+  Random.State.t ->
+  n:int ->
+  edge_prob:float ->
+  back_prob:float ->
+  max_distance:int ->
+  Loop_graph.t
+(** A {!Dfg.Generate.loop_body} DAG of [n] operations lifted to a loop
+    graph, plus recurrences: each ordered pair [(u, v)] with [u >= v]
+    (a genuine back edge, self loops included) becomes a loop-carried
+    dependence with probability [back_prob], at a distance drawn
+    uniformly from [1 .. max_distance]. @raise Invalid_argument when
+    [n < 1] or [max_distance < 1]. *)
+
+val accumulator :
+  Random.State.t -> n:int -> edge_prob:float -> Loop_graph.t
+(** The commonest kernel shape: a random body whose last operation
+    feeds itself at distance 1 (a reduction accumulator). *)

@@ -1,0 +1,6 @@
+module Graph = Dfg.Graph
+module Op = Dfg.Op
+module Delay = Dfg.Delay
+module Resources = Hard.Resources
+module Schedule = Hard.Schedule
+module List_sched = Hard.List_sched

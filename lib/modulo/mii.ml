@@ -1,0 +1,78 @@
+open Import
+
+(* Zero-delay pseudo-ops occupy no unit (the Hard.Schedule convention),
+   so only positive-delay operations with a unit class load the modulo
+   reservation table. *)
+let occupies g v =
+  Loop_graph.delay g v > 0
+  && Option.is_some (Resources.class_of_op (Loop_graph.op g v))
+
+let res_mii ~resources g =
+  let classes = [ Resources.Alu; Resources.Multiplier; Resources.Memory ] in
+  let bound_for cls =
+    let units = Resources.count resources cls in
+    let work = ref 0 and widest = ref 0 in
+    Loop_graph.iter_vertices
+      (fun v ->
+        if occupies g v then
+          match Resources.class_of_op (Loop_graph.op g v) with
+          | Some c when Resources.equal_class c cls ->
+            let d = Loop_graph.delay g v in
+            work := !work + d;
+            if d > !widest then widest := d
+          | _ -> ())
+      g;
+    if !work = 0 then 0
+    else if units = 0 then
+      invalid_arg
+        (Printf.sprintf "Mii.res_mii: no %s units but the kernel needs them"
+           (Resources.class_name cls))
+    else
+      (* ceil work/units utilisation bound; ceil widest/units because a
+         d-cycle op on k non-pipelined units wraps ceil d/II times
+         around the reservation table *)
+      max ((!work + units - 1) / units) ((!widest + units - 1) / units)
+  in
+  List.fold_left (fun acc cls -> max acc (bound_for cls)) 1 classes
+
+(* Longest-path relaxation under weights [delay u - ii * distance]; a
+   relaxation still firing after n full passes witnesses a positive
+   cycle, i.e. a recurrence the candidate II cannot satisfy. *)
+let recurrence_feasible g ~ii =
+  let n = Loop_graph.n_vertices g in
+  if n = 0 then true
+  else begin
+    let dist = Array.make n 0 in
+    let edges = Loop_graph.edges g in
+    let relax () =
+      List.fold_left
+        (fun changed (u, v, d) ->
+          let w = dist.(u) + Loop_graph.delay g u - (ii * d) in
+          if w > dist.(v) then begin
+            dist.(v) <- w;
+            true
+          end
+          else changed)
+        false edges
+    in
+    let rec passes k = if k = 0 then true else if relax () then passes (k - 1) else false
+    in
+    (* n passes settle any acyclic chain; one more firing means a cycle *)
+    not (passes n && relax ())
+  end
+
+let rec_mii g =
+  (match Loop_graph.well_formed g with
+  | Ok () -> ()
+  | Error m -> invalid_arg ("Mii.rec_mii: " ^ m));
+  let hi = max 1 (Loop_graph.total_delay g) in
+  (* feasibility is monotone in ii: larger ii only lowers cycle weights *)
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if recurrence_feasible g ~ii:mid then search lo mid else search (mid + 1) hi
+  in
+  search 1 hi
+
+let mii ~resources g = max (res_mii ~resources g) (rec_mii g)

@@ -1,0 +1,39 @@
+open Import
+
+(** Lower bounds on the initiation interval.
+
+    The minimum initiation interval (MII) is the larger of two bounds:
+
+    - {e ResMII}, from resource counts: a class whose operations need
+      [W] unit-cycles per iteration on [k] units cannot initiate faster
+      than every [ceil W/k] cycles; a single [d]-cycle operation on [k]
+      non-pipelined units additionally needs [ceil d/k] (its modulo
+      reservation rows wrap).
+    - {e RecMII}, from recurrences: a cycle [c] of total delay [D(c)]
+      and total iteration distance [p(c)] forces
+      [II >= ceil (D(c) / p(c))] — the maximum cycle ratio over the
+      strongly connected components.
+
+    RecMII is computed by binary search on the candidate [II]:
+    [II] is recurrence-feasible iff the edge weights
+    [delay u - II * distance] admit no positive cycle (checked by
+    Bellman–Ford longest-path relaxation), and feasibility is monotone
+    in [II]. *)
+
+val res_mii : resources:Resources.t -> Loop_graph.t -> int
+(** At least 1. @raise Invalid_argument if some operation's unit class
+    has no units (the kernel is then unschedulable at any II — same
+    contract as {!Hard.List_sched.run}). *)
+
+val rec_mii : Loop_graph.t -> int
+(** At least 1; exactly 1 on a recurrence-free kernel. @raise
+    Invalid_argument when the graph is not {!Loop_graph.well_formed}
+    (a zero-distance cycle has no finite II). *)
+
+val recurrence_feasible : Loop_graph.t -> ii:int -> bool
+(** Whether the weights [delay u - ii * distance] admit no positive
+    cycle — the Bellman–Ford check behind {!rec_mii}, exposed for the
+    property tests. *)
+
+val mii : resources:Resources.t -> Loop_graph.t -> int
+(** [max (res_mii ...) (rec_mii ...)]. *)

@@ -1,0 +1,125 @@
+open Import
+
+type t = { loop : Loop_graph.t; ii : int; starts : int array }
+
+let make loop ~ii ~starts =
+  if ii < 1 then invalid_arg "Mschedule.make: ii must be >= 1";
+  if Array.length starts <> Loop_graph.n_vertices loop then
+    invalid_arg "Mschedule.make: starts size mismatch";
+  Array.iter
+    (fun s -> if s < 0 then invalid_arg "Mschedule.make: negative start")
+    starts;
+  { loop; ii; starts }
+
+let start t v = t.starts.(v)
+
+let span t =
+  Loop_graph.fold_vertices
+    (fun acc v -> max acc (t.starts.(v) + Loop_graph.delay t.loop v))
+    0 t.loop
+
+let stage_count t = (span t + t.ii - 1) / t.ii
+
+let occupies t v =
+  Loop_graph.delay t.loop v > 0
+  && Option.is_some (Resources.class_of_op (Loop_graph.op t.loop v))
+
+let mrt ~resources t =
+  let table cls =
+    let slots = Array.make t.ii 0 in
+    Loop_graph.iter_vertices
+      (fun v ->
+        if occupies t v then
+          match Resources.class_of_op (Loop_graph.op t.loop v) with
+          | Some c when Resources.equal_class c cls ->
+            for k = 0 to Loop_graph.delay t.loop v - 1 do
+              let slot = (t.starts.(v) + k) mod t.ii in
+              slots.(slot) <- slots.(slot) + 1
+            done
+          | _ -> ())
+      t.loop;
+    slots
+  in
+  List.map (fun (cls, _) -> (cls, table cls)) (Resources.classes resources)
+
+let check ?resources t =
+  let g = t.loop in
+  let violation = ref None in
+  Loop_graph.iter_edges
+    (fun u v d ->
+      if !violation = None then begin
+        let bound = t.starts.(u) + Loop_graph.delay g u - (t.ii * d) in
+        if t.starts.(v) < bound then
+          violation :=
+            Some
+              (Printf.sprintf
+                 "recurrence violated: %s (start %d) needs %s + %d - %d*%d <= \
+                  start, got %d"
+                 (Loop_graph.name g v) t.starts.(v) (Loop_graph.name g u)
+                 (Loop_graph.delay g u) t.ii d bound)
+      end)
+    g;
+  (match (resources, !violation) with
+  | Some resources, None ->
+    List.iter
+      (fun (cls, slots) ->
+        let units = Resources.count resources cls in
+        Array.iteri
+          (fun slot n ->
+            if n > units && !violation = None then
+              violation :=
+                Some
+                  (Printf.sprintf
+                     "modulo reservation overflow: %d %s ops in slot %d of %d \
+                      (only %d units)"
+                     n (Resources.class_name cls) slot t.ii units))
+          slots)
+      (mrt ~resources t);
+    (* an operation of a class with zero units never fits *)
+    Loop_graph.iter_vertices
+      (fun v ->
+        if occupies t v && !violation = None then
+          match Resources.class_of_op (Loop_graph.op g v) with
+          | Some c when Resources.count resources c = 0 ->
+            violation :=
+              Some
+                (Printf.sprintf "%s needs a %s unit but none exist"
+                   (Loop_graph.name g v) (Resources.class_name c))
+          | _ -> ())
+      t.loop
+  | _ -> ());
+  match !violation with None -> Ok () | Some m -> Error m
+
+let steady_state_util ~resources t =
+  let busy =
+    Loop_graph.fold_vertices
+      (fun acc v -> if occupies t v then acc + Loop_graph.delay t.loop v else acc)
+      0 t.loop
+  in
+  let total = Resources.total_units resources in
+  if total = 0 then 0.0 else float_of_int busy /. float_of_int (t.ii * total)
+
+let unrolled t ~iterations =
+  let dag, copies = Loop_graph.unroll t.loop ~iterations in
+  (* loop-entry inputs are zero-delay and resource-free: start 0 *)
+  let starts = Array.make (Graph.n_vertices dag) 0 in
+  Array.iteri
+    (fun i per_vertex ->
+      Array.iteri
+        (fun v dag_v -> starts.(dag_v) <- t.starts.(v) + (i * t.ii))
+        per_vertex)
+    copies;
+  Schedule.make dag ~starts
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>II = %d, span = %d (%d stages)@," t.ii (span t)
+    (stage_count t);
+  Loop_graph.iter_vertices
+    (fun v ->
+      Format.fprintf ppf "%3d %-10s %-8s start %3d  slot %d@," v
+        (Loop_graph.name t.loop v)
+        (Op.to_string (Loop_graph.op t.loop v))
+        t.starts.(v)
+        (t.starts.(v) mod t.ii))
+    t.loop;
+  Format.fprintf ppf "@]"

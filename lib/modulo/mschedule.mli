@@ -1,0 +1,62 @@
+open Import
+
+(** Modulo schedules: one start time per loop vertex plus the
+    initiation interval [ii]. Iteration [i] of vertex [v] runs at
+    [start v + i * ii]; the steady state repeats every [ii] cycles.
+
+    Validity has two parts, mirroring {!Hard.Schedule.check}:
+
+    - every dependence [(u, v, d)] satisfies
+      [start v >= start u + delay u - ii * d] (the unrolled producer
+      finishes before the unrolled consumer starts, for every pair of
+      iterations);
+    - the {e modulo reservation table} fits: for each unit class, the
+      number of operations occupying any modulo slot — a [d]-cycle
+      operation started at [s] occupies slots [(s + k) mod ii] for
+      [k < d], with multiplicity when [d > ii] — stays within the unit
+      count. *)
+
+type t = {
+  loop : Loop_graph.t;
+  ii : int;  (** initiation interval, >= 1 *)
+  starts : int array;  (** one non-negative start per loop vertex *)
+}
+
+val make : Loop_graph.t -> ii:int -> starts:int array -> t
+(** @raise Invalid_argument on a size mismatch, [ii < 1] or a negative
+    start. Validity is {e not} checked here; call {!check}. *)
+
+val start : t -> Loop_graph.vertex -> int
+
+val span : t -> int
+(** Latest finish of a single iteration — the pipeline fill depth
+    (latency of one iteration; the throughput is [ii]). *)
+
+val stage_count : t -> int
+(** [ceil (span / ii)]: how many iterations are in flight in the
+    steady state. *)
+
+val check : ?resources:Resources.t -> t -> (unit, string) result
+(** Recurrence feasibility, and — when [resources] is given — modulo
+    reservation within the unit counts. The error pinpoints the first
+    violation. *)
+
+val mrt : resources:Resources.t -> t -> (Resources.fu_class * int array) list
+(** The modulo reservation table: per class with a non-zero unit
+    count, occupancy of each of the [ii] slots. *)
+
+val steady_state_util : resources:Resources.t -> t -> float
+(** Busy unit-cycles per iteration over [ii * total_units] — the
+    fraction of the datapath doing work each steady-state window.
+    In [0, 1] for any schedule that passes {!check}. *)
+
+val unrolled : t -> iterations:int -> Schedule.t
+(** The flat DAG schedule of [iterations] pipelined iterations:
+    {!Loop_graph.unroll}'s DAG with copy [i] of [v] starting at
+    [start v + i * ii] (loop-entry inputs start at 0). Passing
+    {!Hard.Schedule.check} [~resources] on this schedule is the
+    executable meaning of modulo-schedule validity — the property the
+    QCheck oracle pins. *)
+
+val pp : Format.formatter -> t -> unit
+(** One line per vertex: name, op, start, modulo slot. *)

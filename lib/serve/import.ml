@@ -9,3 +9,10 @@ module Meta = Soft.Meta
 module Engine = Soft.Engine
 module T = Soft.Threaded_graph
 module Json = Qor.Json
+
+(* The serving layer must see every engine, including the ones whose
+   libraries nothing here references by module path. Import itself is
+   pure aliases and can be dropped at link time, so the registration
+   lives in a value the linked modules pull in: Protocol, Race and
+   Service each force [extra_engines] before touching the registry. *)
+let extra_engines = lazy (Modulo.Engine.ensure_registered ())

@@ -1,5 +1,7 @@
 open Import
 
+let () = Lazy.force extra_engines
+
 type entry = {
   engine : string;
   outcome : Engine.outcome option;

@@ -432,6 +432,57 @@ let test_pipeline_interval_validation () =
      Alcotest.fail "expected Invalid_argument"
    with Invalid_argument _ -> ())
 
+let test_pipeline_interval_two () =
+  (* a 4-cycle multiplier at initiation interval 2: the issue keeps the
+     unit for 2 cycles, the drain carries the remaining 2 *)
+  let g = Graph.create () in
+  let a = Graph.add_vertex g ~name:"a" (Op.Input "a") in
+  let m = Graph.add_vertex g ~delay:4 ~name:"m" Op.Mul in
+  let o = Graph.add_vertex g ~name:"y" (Op.Output "y") in
+  Graph.add_edge g a m;
+  Graph.add_edge g m o;
+  let t = Hard.Pipeline.split ~interval:2 g in
+  let sp = t.Hard.Pipeline.split in
+  check Alcotest.int "one extra vertex" 4 (Graph.n_vertices sp);
+  let issue = t.Hard.Pipeline.issue_of.(m) in
+  let result = t.Hard.Pipeline.result_of.(m) in
+  check Alcotest.int "issue delay = interval" 2 (Graph.delay sp issue);
+  check Alcotest.int "drain delay = L - interval" 2 (Graph.delay sp result);
+  check Alcotest.bool "drain is a wire" true (Graph.op sp result = Op.Wire);
+  (* the repo's 2-cycle multiplies don't exceed II 2, so nothing splits *)
+  let hal = (Hls_bench.Suite.find "HAL").build () in
+  let t2 = Hard.Pipeline.split ~interval:2 hal in
+  check Alcotest.int "2-cycle muls untouched at II 2" (Graph.n_vertices hal)
+    (Graph.n_vertices t2.Hard.Pipeline.split)
+
+let test_pipeline_custom_predicate () =
+  (* pipelining nothing leaves every graph untouched *)
+  let fir = (Hls_bench.Suite.find "FIR").build () in
+  let untouched = Hard.Pipeline.split ~pipelined:(fun _ -> false) fir in
+  check Alcotest.int "no class pipelined, no split" (Graph.n_vertices fir)
+    (Graph.n_vertices untouched.Hard.Pipeline.split);
+  (* pipelining the memory port instead of the multiplier: only the
+     multi-cycle load splits, the 2-cycle multiply keeps its unit *)
+  let g = Graph.create () in
+  let a = Graph.add_vertex g ~name:"addr" (Op.Input "addr") in
+  let ld = Graph.add_vertex g ~delay:3 ~name:"ld" Op.Load in
+  let m = Graph.add_vertex g ~name:"m" Op.Mul in
+  let o = Graph.add_vertex g ~name:"y" (Op.Output "y") in
+  Graph.add_edge g a ld;
+  Graph.add_edge g ld m;
+  Graph.add_edge g m o;
+  let t = Hard.Pipeline.split ~pipelined:(fun c -> c = R.Memory) g in
+  let sp = t.Hard.Pipeline.split in
+  check Alcotest.int "only the load split" (Graph.n_vertices g + 1)
+    (Graph.n_vertices sp);
+  check Alcotest.int "load issue delay 1" 1
+    (Graph.delay sp t.Hard.Pipeline.issue_of.(ld));
+  check Alcotest.int "load drain delay 2" 2
+    (Graph.delay sp t.Hard.Pipeline.result_of.(ld));
+  check Alcotest.bool "mul untouched" true
+    (t.Hard.Pipeline.issue_of.(m) = t.Hard.Pipeline.result_of.(m)
+    && Graph.delay sp t.Hard.Pipeline.issue_of.(m) = 2)
+
 let () =
   Alcotest.run "hard"
     [
@@ -505,6 +556,9 @@ let () =
             test_pipeline_recover_starts;
           Alcotest.test_case "interval validation" `Quick
             test_pipeline_interval_validation;
+          Alcotest.test_case "interval 2" `Quick test_pipeline_interval_two;
+          Alcotest.test_case "custom predicate" `Quick
+            test_pipeline_custom_predicate;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest

@@ -956,6 +956,42 @@ let test_metrics_engine_counters () =
     (contains prom {|softsched_race_wins_total{engine="list"} 1|});
   check Alcotest.bool "race total" true (contains prom "softsched_races_total 1")
 
+(* The modulo engine is registered by the serving layer itself (the
+   Import initialiser), so a race subset naming it runs it and its
+   counters surface in the stats snapshot and the Prometheus dump. *)
+let test_metrics_modulo_engine_visible () =
+  (match Soft.Engine.of_string "modulo" with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "modulo not registered by serve: %s" m);
+  let m = Metrics.create () in
+  let service = Service.create ~metrics:m () in
+  let prep req =
+    match Service.prepare service req with
+    | Ok p -> p
+    | Error e -> Alcotest.fail e
+  in
+  let o, _ =
+    Service.execute service
+      (prep (request_for ~effort:Protocol.Race ~engines:[ "modulo"; "list" ] "FIR"))
+  in
+  (match (Service.result_of o).Protocol.engine with
+  | Some e ->
+    check Alcotest.bool "winner from the subset" true
+      (List.mem e [ "modulo"; "list" ])
+  | None -> Alcotest.fail "race result lacks engine");
+  let j =
+    match
+      Json.parse_result (Json.to_string ~minify:true (Metrics.snapshot_json m))
+    with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "snapshot not JSON: %s" e
+  in
+  check Alcotest.int "modulo ran once" 1
+    (json_int j [ "engines"; "modulo"; "runs" ]);
+  let prom = Metrics.to_prometheus m in
+  check Alcotest.bool "modulo run counter exported" true
+    (contains prom {|softsched_engine_runs_total{engine="modulo"} 1|})
+
 let test_metrics_retry_after () =
   let m = Metrics.create () in
   check Alcotest.int "no history: flat default" 50
@@ -1272,6 +1308,8 @@ let () =
             test_metrics_snapshot_and_prometheus;
           Alcotest.test_case "engine counters" `Quick
             test_metrics_engine_counters;
+          Alcotest.test_case "modulo engine visible" `Quick
+            test_metrics_modulo_engine_visible;
           Alcotest.test_case "retry-after hint" `Quick test_metrics_retry_after;
           Alcotest.test_case "slow-request log" `Quick
             test_metrics_slow_log_file;
